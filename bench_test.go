@@ -1,0 +1,305 @@
+package cloudmcp
+
+// One benchmark per reconstructed table/figure (E1..E12, see DESIGN.md).
+// Each benchmark runs the experiment end to end, reports the headline
+// quantity as a custom metric, and — once per `go test -bench` process —
+// prints the experiment's table/series so the paper artifacts can be
+// regenerated straight from the benchmark run:
+//
+//	go test -bench=. -benchmem
+//
+// Horizons here are the "quick" scale (minutes of virtual time per
+// point); cmd/mcpbench runs the full-scale versions.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"cloudmcp/internal/core"
+)
+
+const benchSeed = 1
+
+// printOnce renders an experiment artifact the first time a benchmark
+// reaches it, so -bench output contains each table exactly once even
+// when the harness re-runs a benchmark with larger b.N.
+var printedMu sync.Mutex
+var printed = map[string]bool{}
+
+func printOnce(b *testing.B, name string, r interface{ Render(w io.Writer) error }) {
+	b.Helper()
+	printedMu.Lock()
+	defer printedMu.Unlock()
+	if printed[name] {
+		return
+	}
+	printed[name] = true
+	fmt.Println()
+	if err := r.Render(os.Stdout); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// renderable adapts a Render func to the printOnce interface.
+type renderable struct {
+	fn func(io.Writer) error
+}
+
+func (r renderable) Render(w io.Writer) error { return r.fn(w) }
+
+func BenchmarkE1_OpMix(b *testing.B) {
+	var res *core.E1Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.RunE1(core.E1Params{Seed: benchSeed, HorizonS: 6 * core.Hour})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Total["CloudA"]), "cloudA-ops")
+	b.ReportMetric(float64(res.Total["ClassicDC"]), "classicDC-ops")
+	printOnce(b, "E1", renderable{res.Render})
+}
+
+func BenchmarkE2_ArrivalSeries(b *testing.B) {
+	var res *core.E2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.RunE2(core.E2Params{Seed: benchSeed, HorizonS: 12 * core.Hour})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range res.Profiles {
+		if p.Name == "CloudB" {
+			b.ReportMetric(p.Burstiness.PeakToMean, "cloudB-peak:mean")
+		}
+	}
+	printOnce(b, "E2", renderable{res.Render})
+}
+
+func BenchmarkE3_InterarrivalCDF(b *testing.B) {
+	var res *core.E3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.RunE3(core.E3Params{Seed: benchSeed, HorizonS: 12 * core.Hour})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range res.Profiles {
+		if p.Name == "CloudA" {
+			b.ReportMetric(p.CV, "cloudA-interarrival-cv")
+		}
+	}
+	printOnce(b, "E3", renderable{res.Render})
+}
+
+func BenchmarkE4_LatencyBreakdown(b *testing.B) {
+	var res *core.E4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.RunE4(core.E4Params{Seed: benchSeed, HorizonS: 4 * core.Hour})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if s, ok := res.DeployControlShare("linked"); ok {
+		b.ReportMetric(100*s, "linked-ctl-%")
+	}
+	if s, ok := res.DeployControlShare("full"); ok {
+		b.ReportMetric(100*s, "full-ctl-%")
+	}
+	printOnce(b, "E4", renderable{res.Render})
+}
+
+func BenchmarkE5_CloneLatencyVsSize(b *testing.B) {
+	var res *core.E5Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.RunE5(core.E5Params{Seed: benchSeed})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := res.Points[len(res.Points)-1]
+	b.ReportMetric(last.FullS/last.LinkedS, "full:linked@64GB")
+	printOnce(b, "E5", renderable{res.Render})
+}
+
+func BenchmarkE6_ThroughputVsConcurrency(b *testing.B) {
+	var res *core.E6Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.RunE6(core.E6Params{Seed: benchSeed, HorizonS: 900})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.PeakThroughput(true), "peak-linked/h")
+	b.ReportMetric(res.PeakThroughput(false), "peak-full/h")
+	printOnce(b, "E6", renderable{res.Render})
+}
+
+func BenchmarkE7_LayerBreakdown(b *testing.B) {
+	var res *core.E7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.RunE7(core.E7Params{Seed: benchSeed, HorizonS: 1200})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	hi := res.Points[len(res.Points)-1]
+	if hi.Breakdown.Total() > 0 {
+		b.ReportMetric(100*hi.Breakdown.Queue/hi.Breakdown.Total(), "queue-%@maxload")
+	}
+	printOnce(b, "E7", renderable{res.Render})
+}
+
+func BenchmarkE8_ReconfigPressure(b *testing.B) {
+	var res *core.E8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.RunE8(core.E8Params{Seed: benchSeed, HorizonS: 1800})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	hi := res.Points[len(res.Points)-1]
+	b.ReportMetric(hi.ShadowsPerHour, "shadows/h@maxrate")
+	b.ReportMetric(hi.MovesPerHour, "rebal-moves/h@maxrate")
+	printOnce(b, "E8", renderable{res.Render})
+}
+
+func BenchmarkE9_Queueing(b *testing.B) {
+	var res *core.E9Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.RunE9(core.E9Params{Seed: benchSeed, HorizonS: 1200})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	hi := res.Points[len(res.Points)-1]
+	b.ReportMetric(hi.Threads.Utilization, "thread-util@maxload")
+	printOnce(b, "E9", renderable{res.Render})
+}
+
+func BenchmarkE10_CellScaling(b *testing.B) {
+	var res *core.E10Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.RunE10(core.E10Params{Seed: benchSeed, HorizonS: 900})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if first.LinkedPerHour > 0 {
+		b.ReportMetric(last.LinkedPerHour/first.LinkedPerHour, "speedup-8cells")
+	}
+	printOnce(b, "E10", renderable{res.Render})
+}
+
+func BenchmarkE11_LockGranularity(b *testing.B) {
+	var res *core.E11Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.RunE11(core.E11Params{Seed: benchSeed, HorizonS: 900})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	byG := map[string]float64{}
+	for _, pt := range res.Points {
+		byG[pt.Granularity] = pt.LinkedPerHour
+	}
+	if byG["coarse"] > 0 {
+		b.ReportMetric(byG["entity"]/byG["coarse"], "entity:coarse")
+	}
+	printOnce(b, "E11", renderable{res.Render})
+}
+
+func BenchmarkE12_CatalogOps(b *testing.B) {
+	var res *core.E12Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.RunE12(core.E12Params{Seed: benchSeed, SizesGB: []float64{4, 16}, HorizonS: 900})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	pt := res.Points[len(res.Points)-1]
+	if pt.IdleS > 0 {
+		b.ReportMetric(pt.FullLoadS/pt.IdleS, "amp-under-full-load")
+	}
+	printOnce(b, "E12", renderable{res.Render})
+}
+
+func BenchmarkE13_DBBatching(b *testing.B) {
+	var res *core.E13Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.RunE13(core.E13Params{Seed: benchSeed, Workers: 32, HorizonS: 600})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if first.LinkedPerHour > 0 {
+		b.ReportMetric(last.LinkedPerHour/first.LinkedPerHour, "batched:unbatched")
+	}
+	printOnce(b, "E13", renderable{res.Render})
+}
+
+func BenchmarkE14_Maintenance(b *testing.B) {
+	var res *core.E14Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.RunE14(core.E14Params{Seed: benchSeed, HostVMs: 8, HorizonS: 600})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	idle, busy := res.Points[0], res.Points[len(res.Points)-1]
+	if idle.EvacuationS > 0 {
+		b.ReportMetric(busy.EvacuationS/idle.EvacuationS, "evac-stretch@maxload")
+	}
+	printOnce(b, "E14", renderable{res.Render})
+}
+
+func BenchmarkE15_Replay(b *testing.B) {
+	var res *core.E15Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.RunE15(core.E15Params{Seed: benchSeed, RecordS: 1200})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	one, last := res.Points[0], res.Points[len(res.Points)-1]
+	if last.DeployP95S > 0 {
+		b.ReportMetric(one.DeployP95S/last.DeployP95S, "p95-1cell:4cell")
+	}
+	printOnce(b, "E15", renderable{res.Render})
+}
+
+func BenchmarkE16_RestartStorm(b *testing.B) {
+	var res *core.E16Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = core.RunE16(core.E16Params{Seed: benchSeed, HostVMs: 8, HorizonS: 600})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	idle, busy := res.Points[0], res.Points[len(res.Points)-1]
+	if idle.RecoveryS > 0 {
+		b.ReportMetric(busy.RecoveryS/idle.RecoveryS, "recovery-stretch@maxload")
+	}
+	printOnce(b, "E16", renderable{res.Render})
+}

@@ -1,0 +1,138 @@
+// Command mcpchar characterizes a management-operation trace file (as
+// written by cmd/mcpgen): operation mix, arrival burstiness, interarrival
+// statistics, and per-operation latency breakdowns — the same analyses
+// the paper applies to its production traces.
+//
+//	mcpchar trace.jsonl
+//	mcpchar -bin 300 -kind deploy trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cloudmcp/internal/analysis"
+	"cloudmcp/internal/report"
+	"cloudmcp/internal/trace"
+)
+
+func main() {
+	var (
+		binS = flag.Float64("bin", 600, "burstiness bin width, seconds")
+		kind = flag.String("kind", "deploy", "operation kind for interarrival analysis")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mcpchar [flags] <trace.jsonl|trace.csv>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	var recs []trace.Record
+	switch {
+	case strings.HasSuffix(path, ".csv"):
+		recs, err = trace.ReadCSV(f)
+	default:
+		recs, err = trace.ReadJSONL(f)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if len(recs) == 0 {
+		fatal(fmt.Errorf("trace %s is empty", path))
+	}
+	span := 0.0
+	for _, r := range recs {
+		if r.End > span {
+			span = r.End
+		}
+	}
+	fmt.Printf("mcpchar: %s — %d records spanning %.1f h\n\n", path, len(recs), span/3600)
+
+	mixT := report.NewTable("Operation mix", "operation", "count", "%", "errors")
+	for _, row := range analysis.OpMix(recs) {
+		mixT.AddRow(row.Kind, row.Count, 100*row.Frac, row.Errors)
+	}
+	mixT.Render(os.Stdout)
+	fmt.Println()
+
+	b := analysis.MeasureBurstiness(recs, *binS, "")
+	bT := report.NewTable(fmt.Sprintf("Arrival burstiness (%.0f s bins)", *binS), "metric", "value")
+	bT.AddRow("mean ops/bin", b.MeanPerBin)
+	bT.AddRow("peak ops/bin", b.PeakPerBin)
+	bT.AddRow("peak:mean", b.PeakToMean)
+	bT.AddRow("index of dispersion", b.IndexOfDispersion)
+	bT.Render(os.Stdout)
+	fmt.Println()
+
+	ia := analysis.Interarrivals(recs, *kind)
+	if ia.Count() > 0 {
+		iaT := report.NewTable(fmt.Sprintf("%s interarrivals", *kind), "metric", "value")
+		iaT.AddRow("count", ia.Count())
+		iaT.AddRow("mean s", ia.Mean())
+		iaT.AddRow("median s", ia.Median())
+		iaT.AddRow("p95 s", ia.Percentile(95))
+		iaT.AddRow("cv", ia.CV())
+		iaT.Render(os.Stdout)
+		fmt.Println()
+	}
+
+	orgRows := analysis.PerOrg(recs)
+	if len(orgRows) > 1 {
+		top := orgRows
+		if len(top) > 10 {
+			top = top[:10]
+		}
+		oT := report.NewTable("Busiest tenants", "org", "ops", "%", "deploys", "mean deploy s", "errors")
+		for _, row := range top {
+			oT.AddRow(row.Org, row.Ops, 100*row.Frac, row.Deploys, row.MeanDeployLatS, row.Errors)
+		}
+		oT.Render(os.Stdout)
+		fmt.Println()
+	}
+
+	if span >= 86400 {
+		prof := analysis.DiurnalProfile(recs)
+		sSer := report.NewSeries("Mean ops by hour of day", "hour", "ops")
+		for h, v := range prof {
+			sSer.Add(float64(h), v)
+		}
+		sSer.Render(os.Stdout)
+		fmt.Printf("day-periodicity r=%.2f (lag-24h autocorrelation of %s-binned arrivals)\n\n",
+			analysis.PeriodicityAt(recs, *binS, 86400), fmtDur(*binS))
+	}
+
+	conc := analysis.PeakConcurrency(recs, *binS)
+	fmt.Printf("peak in-flight operations: %.0f (at %s resolution)"+"\n\n", conc, fmtDur(*binS))
+
+	latT := report.NewTable("Latency by operation (successful)",
+		"operation", "n", "mean s", "p50 s", "p95 s", "queue", "cell", "mgmt", "db", "host", "data", "ctl%")
+	for _, row := range analysis.LatencyByKind(recs) {
+		bd := row.MeanBreakdown
+		latT.AddRow(row.Kind, row.Count, row.MeanLatency, row.P50Latency, row.P95Latency,
+			bd.Queue, bd.Cell, bd.Mgmt, bd.DB, bd.Host, bd.Data, 100*analysis.ControlShare(bd))
+	}
+	latT.Render(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcpchar:", err)
+	os.Exit(1)
+}
+
+func fmtDur(s float64) string {
+	if s >= 3600 {
+		return fmt.Sprintf("%.0fh", s/3600)
+	}
+	if s >= 60 {
+		return fmt.Sprintf("%.0fm", s/60)
+	}
+	return fmt.Sprintf("%.0fs", s)
+}

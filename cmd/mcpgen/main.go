@@ -1,0 +1,72 @@
+// Command mcpgen generates a synthetic management-operation trace by
+// running a workload profile against a simulated cloud, writing one
+// record per completed operation. The format follows the -o extension:
+// .jsonl (JSON lines) or .csv.
+//
+//	mcpgen -profile cloud-a -hours 48 -o cloud-a.jsonl
+//	mcpgen -profile cloud-b -hours 48 -fast=false -o cloud-b-full.csv
+//
+// Traces are consumed by cmd/mcpchar or any external tooling.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cloudmcp/internal/core"
+	"cloudmcp/internal/trace"
+	"cloudmcp/internal/workload"
+)
+
+func main() {
+	var (
+		profileName = flag.String("profile", "cloud-a", "workload profile: cloud-a, cloud-b, classic-dc")
+		hours       = flag.Float64("hours", 24, "simulated hours")
+		seed        = flag.Int64("seed", 1, "master random seed")
+		fast        = flag.Bool("fast", true, "use fast provisioning (linked clones)")
+		out         = flag.String("o", "trace.jsonl", "output file (.jsonl or .csv)")
+	)
+	flag.Parse()
+
+	profile, err := workload.ByName(*profileName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.DefaultConfig(*seed)
+	cfg.Director.FastProvisioning = *fast
+	cloud, err := core.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := cloud.RunProfile(profile, *hours*core.Hour)
+	if err != nil {
+		fatal(err)
+	}
+	recs := cloud.Records()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(*out, ".csv"):
+		err = trace.WriteCSV(f, recs)
+	case strings.HasSuffix(*out, ".jsonl"):
+		err = trace.WriteJSONL(f, recs)
+	default:
+		err = fmt.Errorf("unknown trace extension in %q (want .jsonl or .csv)", *out)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("mcpgen: wrote %d records (%d vApp requests over %.1f h of %s) to %s\n",
+		len(recs), st.Arrivals, *hours, profile.Name, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcpgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command mcpreplay replays a recorded management trace (from cmd/mcpgen)
+// against an alternative cloud configuration — the what-if analysis the
+// characterization methodology enables. The replay is open-loop: requests
+// fire at their recorded times, so an under-provisioned control plane
+// shows up as queueing and latency, exactly as it would have in
+// production.
+//
+//	mcpreplay -cells 1 -cell-threads 2 trace.jsonl
+//	mcpreplay -fast=false -hosts 16 trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cloudmcp/internal/analysis"
+	"cloudmcp/internal/core"
+	"cloudmcp/internal/report"
+	"cloudmcp/internal/trace"
+	"cloudmcp/internal/workload"
+)
+
+func main() {
+	var (
+		seed        = flag.Int64("seed", 1, "master random seed")
+		fast        = flag.Bool("fast", true, "use fast provisioning (linked clones)")
+		hosts       = flag.Int("hosts", 32, "hypervisor hosts")
+		datastores  = flag.Int("datastores", 8, "shared datastores")
+		cells       = flag.Int("cells", 2, "director cells")
+		cellThreads = flag.Int("cell-threads", 16, "threads per cell")
+		extraS      = flag.Float64("drain", 3600, "extra seconds after the last record to drain in-flight work")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mcpreplay [flags] <trace.jsonl|trace.csv>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	var recs []trace.Record
+	if strings.HasSuffix(path, ".csv") {
+		recs, err = trace.ReadCSV(f)
+	} else {
+		recs, err = trace.ReadJSONL(f)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.DefaultConfig(*seed)
+	cfg.Topology.Hosts = *hosts
+	cfg.Topology.Datastores = *datastores
+	cfg.Director.Cells = *cells
+	cfg.Director.CellThreads = *cellThreads
+	cfg.Director.FastProvisioning = *fast
+	cloud, err := core.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rp, err := workload.NewReplayer(cloud.Env(), cloud.Director(), recs)
+	if err != nil {
+		fatal(err)
+	}
+	rp.Start()
+	last := 0.0
+	for _, r := range recs {
+		if r.Submit > last {
+			last = r.Submit
+		}
+	}
+	cloud.Run(last + *extraS)
+
+	st := rp.Stats()
+	fmt.Printf("mcpreplay: %s — %d records; issued %d, unmapped %d, system %d\n\n",
+		path, len(recs), st.Issued, st.Unmapped, st.SystemOps)
+
+	out := cloud.Records()
+	latT := report.NewTable("Replayed latency by operation (successful)",
+		"operation", "n", "mean s", "p50 s", "p95 s", "queue", "cell", "mgmt", "db", "host", "data")
+	for _, row := range analysis.LatencyByKind(out) {
+		b := row.MeanBreakdown
+		latT.AddRow(row.Kind, row.Count, row.MeanLatency, row.P50Latency, row.P95Latency,
+			b.Queue, b.Cell, b.Mgmt, b.DB, b.Host, b.Data)
+	}
+	latT.Render(os.Stdout)
+
+	// Compare against what the original trace experienced.
+	fmt.Println()
+	cmpT := report.NewTable("Deploy latency: recorded vs replayed", "trace", "n", "mean s", "p95 s")
+	orig := analysis.LatencySample(analysis.FilterKind(recs, "deploy"), "")
+	repl := analysis.LatencySample(analysis.FilterKind(out, "deploy"), "")
+	cmpT.AddRow("recorded", orig.Count(), orig.Mean(), orig.Percentile(95))
+	cmpT.AddRow("replayed", repl.Count(), repl.Mean(), repl.Percentile(95))
+	cmpT.Render(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcpreplay:", err)
+	os.Exit(1)
+}

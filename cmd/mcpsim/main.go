@@ -1,0 +1,126 @@
+// Command mcpsim runs one simulated self-service cloud under a workload
+// profile and prints the characterization summary: operation mix, latency
+// breakdowns, director activity, and control-plane resource utilization.
+//
+//	mcpsim -profile cloud-a -hours 24
+//	mcpsim -profile cloud-b -hours 8 -fast=false   # full-clone baseline
+//	mcpsim -hosts 64 -datastores 16 -cells 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cloudmcp/internal/analysis"
+	"cloudmcp/internal/core"
+	"cloudmcp/internal/report"
+	"cloudmcp/internal/workload"
+)
+
+func main() {
+	var (
+		profileName = flag.String("profile", "cloud-a", "workload profile: cloud-a, cloud-b, classic-dc")
+		hours       = flag.Float64("hours", 12, "simulated hours")
+		seed        = flag.Int64("seed", 1, "master random seed")
+		fast        = flag.Bool("fast", true, "use fast provisioning (linked clones)")
+		hosts       = flag.Int("hosts", 32, "hypervisor hosts")
+		datastores  = flag.Int("datastores", 8, "shared datastores")
+		cells       = flag.Int("cells", 2, "director cells")
+		configPath  = flag.String("config", "", "JSON scenario file (overrides the topology flags)")
+		dumpConfig  = flag.Bool("dump-config", false, "print the default scenario JSON and exit")
+	)
+	flag.Parse()
+
+	if *dumpConfig {
+		if err := core.WriteDefaultConfig(os.Stdout, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	profile, err := workload.ByName(*profileName)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg core.Config
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg, err = core.LoadConfig(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		cfg = core.DefaultConfig(*seed)
+		cfg.Topology.Hosts = *hosts
+		cfg.Topology.Datastores = *datastores
+		cfg.Director.Cells = *cells
+		cfg.Director.FastProvisioning = *fast
+	}
+	cloud, err := core.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	horizon := *hours * core.Hour
+	st, err := cloud.RunProfile(profile, horizon)
+	if err != nil {
+		fatal(err)
+	}
+	recs := cloud.Records()
+
+	fmt.Printf("mcpsim: %s for %.1f h (fast=%v): %d vApp requests, %d ops recorded\n\n",
+		profile.Name, *hours, *fast, st.Arrivals, len(recs))
+
+	mixT := report.NewTable("Operation mix", "operation", "count", "%", "errors")
+	for _, row := range analysis.OpMix(recs) {
+		mixT.AddRow(row.Kind, row.Count, 100*row.Frac, row.Errors)
+	}
+	mixT.Render(os.Stdout)
+	fmt.Println()
+
+	latT := report.NewTable("Latency by operation (successful)",
+		"operation", "n", "mean s", "p50 s", "p95 s", "queue", "cell", "mgmt", "db", "host", "data", "ctl%")
+	for _, row := range analysis.LatencyByKind(recs) {
+		b := row.MeanBreakdown
+		latT.AddRow(row.Kind, row.Count, row.MeanLatency, row.P50Latency, row.P95Latency,
+			b.Queue, b.Cell, b.Mgmt, b.DB, b.Host, b.Data, 100*analysis.ControlShare(b))
+	}
+	latT.Render(os.Stdout)
+	fmt.Println()
+
+	burst := analysis.MeasureBurstiness(recs, 600, "")
+	dirStats := cloud.Director().Stats()
+	rr := cloud.Manager().Resources()
+	sumT := report.NewTable("Control plane summary", "metric", "value")
+	sumT.AddRow("ops per hour (mean)", float64(len(recs))/(*hours))
+	sumT.AddRow("burstiness peak:mean (10 min bins)", burst.PeakToMean)
+	sumT.AddRow("index of dispersion", burst.IndexOfDispersion)
+	sumT.AddRow("vApps deployed", dirStats.VAppsDeployed)
+	sumT.AddRow("shadow template copies", dirStats.ShadowCopies)
+	sumT.AddRow("lease expiries", dirStats.LeaseExpiries)
+	sumT.AddRow("rebalance passes started", dirStats.RebalanceStarts)
+	sumT.AddRow("mgmt thread utilization", rr.Threads.Utilization)
+	sumT.AddRow("mgmt DB utilization", rr.DB.Utilization)
+	sumT.AddRow("admission mean queue", rr.Admission.MeanQueueLen)
+	sumT.AddRow("task errors", cloud.Manager().TaskErrors())
+	sumT.Render(os.Stdout)
+	fmt.Println()
+
+	btT := report.NewTable("Bottleneck attribution (most utilized first)", "stage", "utilization", "mean queue")
+	for _, st := range cloud.BottleneckReport() {
+		btT.AddRow(st.Stage, st.Utilization, st.MeanQueue)
+	}
+	btT.Render(os.Stdout)
+
+	if err := cloud.Inventory().CheckInvariants(); err != nil {
+		fatal(fmt.Errorf("post-run invariant check failed: %w", err))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcpsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package cloudmcp is a discrete-event simulator and workload-
+// characterization toolkit for the management control plane of
+// virtualized cloud infrastructure, reproducing Soundararajan &
+// Spracklen, "Revisiting the management control plane in virtualized
+// cloud computing infrastructure" (IISWC 2013).
+//
+// The public entry point is internal/core (package core), which
+// assembles the full simulated stack; see README.md for the repository
+// map and DESIGN.md for the system inventory and the reconstructed
+// experiment index. The benchmarks in bench_test.go regenerate every
+// table and figure; run them with:
+//
+//	go test -bench=. -benchmem
+package cloudmcp

@@ -1,0 +1,42 @@
+// Maintenance window: how long does it take to drain a host, and how does
+// the answer change when the cloud is busy? Entering maintenance mode
+// live-migrates every resident VM — a train of management operations that
+// queues behind the self-service stream, so the window stretches exactly
+// when the operator can least afford it.
+//
+//	go run ./examples/maintenance-window
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cloudmcp/internal/core"
+)
+
+func main() {
+	fmt.Println("Evacuating a host with 10 resident VMs at three levels of")
+	fmt.Println("background self-service load (paper-era manager sizing):")
+	fmt.Println()
+
+	res, err := core.RunE14(core.E14Params{
+		Seed:         21,
+		HostVMs:      10,
+		RatesPerHour: []float64{0, 2000, 5000},
+		HorizonS:     1200,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Render(os.Stdout)
+
+	idle := res.Points[0].EvacuationS
+	busy := res.Points[len(res.Points)-1].EvacuationS
+	fmt.Printf("\nThe same 10-VM evacuation takes %.0f s idle and %.0f s under load\n", idle, busy)
+	fmt.Printf("(%.1fx stretch): the migrations queue behind self-service traffic at\n", busy/idle)
+	fmt.Println("the manager's worker threads and database. Scheduling maintenance")
+	fmt.Println("windows by wall clock without modeling control-plane load under-")
+	fmt.Println("estimates them — one of the operational implications the paper's")
+	fmt.Println("characterization surfaces.")
+}

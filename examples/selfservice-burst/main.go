@@ -1,0 +1,86 @@
+// Self-service burst: the workload that motivates the paper. A burst of
+// users deploys vApps simultaneously (a class starting, a test fleet
+// spinning up) and we compare how the cloud absorbs it with full-clone
+// provisioning versus fast provisioning — and where the time goes in
+// each case.
+//
+//	go run ./examples/selfservice-burst
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cloudmcp/internal/analysis"
+	"cloudmcp/internal/core"
+	"cloudmcp/internal/ops"
+	"cloudmcp/internal/report"
+	"cloudmcp/internal/sim"
+)
+
+const burstUsers = 40
+
+func runBurst(fast bool) (makespan float64, recs int, lat *report.Table) {
+	cfg := core.DefaultConfig(7)
+	cfg.Director.FastProvisioning = fast
+	cfg.Director.RebalanceThreshold = 0 // not under study here
+	cloud, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inv := cloud.Inventory()
+	done := 0
+	for i := 0; i < burstUsers; i++ {
+		i := i
+		cloud.Go(fmt.Sprintf("user%d", i), func(p *sim.Proc) {
+			tpl := inv.Template(inv.Templates()[i%len(inv.Templates())])
+			res := cloud.Director().DeployVApp(p, fmt.Sprintf("org%d", i%6), tpl, 2, true)
+			if res.Err != nil {
+				log.Fatalf("deploy %d: %v", i, res.Err)
+			}
+			done++
+		})
+	}
+	cloud.Run(24 * core.Hour)
+
+	records := cloud.Records()
+	// Makespan: when the last operation of the burst completed.
+	end := 0.0
+	for _, r := range records {
+		if r.End > end {
+			end = r.End
+		}
+	}
+	deploys := analysis.FilterOK(analysis.FilterKind(records, ops.KindDeploy.String()))
+	sample := analysis.LatencySample(deploys, "")
+	bd, _ := analysis.MeanBreakdown(deploys, "")
+	mode := "full"
+	if fast {
+		mode = "linked"
+	}
+	t := report.NewTable(fmt.Sprintf("Deploy latency, %s provisioning (%d deploys)", mode, len(deploys)),
+		"metric", "value")
+	t.AddRow("burst makespan s", end)
+	t.AddRow("mean deploy s", sample.Mean())
+	t.AddRow("p50 deploy s", sample.Median())
+	t.AddRow("p95 deploy s", sample.Percentile(95))
+	t.AddRow("mean data-plane s", bd.Data)
+	t.AddRow("mean control-plane s", bd.Total()-bd.Data)
+	t.AddRow("control share %", 100*analysis.ControlShare(bd))
+	return end, len(records), t
+}
+
+func main() {
+	fmt.Printf("A burst of %d users each deploys a 2-VM vApp.\n\n", burstUsers)
+	fullEnd, _, fullT := runBurst(false)
+	fullT.Render(os.Stdout)
+	fmt.Println()
+	linkedEnd, _, linkedT := runBurst(true)
+	linkedT.Render(os.Stdout)
+
+	fmt.Printf("\nFast provisioning absorbed the burst %.1fx faster (%.0f s vs %.0f s),\n",
+		fullEnd/linkedEnd, linkedEnd, fullEnd)
+	fmt.Println("and its deploy latency is now dominated by the control plane —")
+	fmt.Println("exactly the regime the paper characterizes.")
+}

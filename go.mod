@@ -1,0 +1,3 @@
+module cloudmcp
+
+go 1.22

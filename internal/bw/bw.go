@@ -1,0 +1,164 @@
+// Package bw provides a fair-share bandwidth engine: a shared link or
+// array whose aggregate bandwidth is divided equally among all in-flight
+// transfers (processor sharing). Datastore copy engines (package storage)
+// and the management/vMotion network (package netsim) are both instances.
+package bw
+
+import (
+	"fmt"
+	"math"
+
+	"cloudmcp/internal/sim"
+)
+
+// Engine is a fair-share transfer engine for one shared link or array.
+type Engine struct {
+	env    *sim.Env
+	name   string
+	bwMBps float64
+
+	active     map[*transfer]struct{}
+	lastUpdate sim.Time
+	timer      *sim.Timer
+
+	// stats
+	bytesMB      float64
+	transfers    int64
+	busyIntegral float64 // ∫ min(1, active) dt — fraction of time busy
+	loadIntegral float64 // ∫ active dt — mean concurrent transfers
+}
+
+type transfer struct {
+	remainingMB float64
+	done        *sim.Signal
+	started     sim.Time
+}
+
+// NewEngine creates an engine with the given aggregate bandwidth in MB/s.
+func NewEngine(env *sim.Env, name string, bwMBps float64) *Engine {
+	if bwMBps <= 0 {
+		panic(fmt.Sprintf("storage: engine %q bandwidth %v", name, bwMBps))
+	}
+	return &Engine{env: env, name: name, bwMBps: bwMBps, active: make(map[*transfer]struct{})}
+}
+
+// Name returns the engine's label.
+func (e *Engine) Name() string { return e.name }
+
+// Bandwidth returns the aggregate bandwidth in MB/s.
+func (e *Engine) Bandwidth() float64 { return e.bwMBps }
+
+// Active returns the number of in-flight transfers.
+func (e *Engine) Active() int { return len(e.active) }
+
+// update advances all in-flight transfers to the current virtual time.
+func (e *Engine) update() {
+	now := e.env.Now()
+	dt := now - e.lastUpdate
+	e.lastUpdate = now
+	k := len(e.active)
+	if dt <= 0 {
+		return
+	}
+	if k > 0 {
+		e.busyIntegral += dt
+		e.loadIntegral += dt * float64(k)
+		per := dt * e.bwMBps / float64(k)
+		for t := range e.active {
+			t.remainingMB -= per
+		}
+	}
+}
+
+// reschedule arms a completion event for the transfer that will finish
+// first under the current sharing level.
+func (e *Engine) reschedule() {
+	if e.timer != nil {
+		e.timer.Stop()
+		e.timer = nil
+	}
+	k := len(e.active)
+	if k == 0 {
+		return
+	}
+	minRem := math.Inf(1)
+	for t := range e.active {
+		if t.remainingMB < minRem {
+			minRem = t.remainingMB
+		}
+	}
+	if minRem < 0 {
+		minRem = 0
+	}
+	delay := minRem * float64(k) / e.bwMBps
+	// Clamp the delay away from zero: at large clock values a sub-ULP
+	// delay would leave virtual time unchanged, the elapsed-time update
+	// would subtract nothing, and the completion event would reschedule
+	// itself forever at the same instant. One microsecond is far above
+	// the float64 ULP of any reachable clock value and far below any
+	// transfer time that matters.
+	if delay < minDelayS {
+		delay = minDelayS
+	}
+	e.timer = e.env.Schedule(delay, e.onComplete)
+}
+
+// minDelayS is the smallest completion delay reschedule will arm.
+const minDelayS = 1e-6
+
+// finishEpsMB treats transfers with less than a byte outstanding as done,
+// absorbing the float error accumulated by repeated fair-share updates.
+const finishEpsMB = 1e-6
+
+func (e *Engine) onComplete() {
+	e.timer = nil
+	e.update()
+	for t := range e.active {
+		if t.remainingMB <= finishEpsMB {
+			delete(e.active, t)
+			t.done.Fire()
+		}
+	}
+	e.reschedule()
+}
+
+// Copy blocks p while sizeMB megabytes are transferred, sharing bandwidth
+// fairly with every other in-flight transfer on this engine. A zero or
+// negative size returns immediately.
+func (e *Engine) Copy(p *sim.Proc, sizeMB float64) {
+	if sizeMB <= 0 {
+		return
+	}
+	e.update()
+	t := &transfer{remainingMB: sizeMB, done: sim.NewSignal(e.env), started: e.env.Now()}
+	e.active[t] = struct{}{}
+	e.transfers++
+	e.bytesMB += sizeMB
+	e.reschedule()
+	t.done.Wait(p)
+}
+
+// EngineStats is a snapshot of transfer statistics.
+type EngineStats struct {
+	Name        string
+	Transfers   int64
+	BytesMB     float64
+	BusyFrac    float64 // fraction of virtual time with >=1 transfer
+	MeanActive  float64 // time-averaged concurrent transfers
+	Utilization float64 // delivered / available bandwidth
+}
+
+// Stats returns statistics accumulated since the engine was created,
+// evaluated at the current virtual time.
+func (e *Engine) Stats() EngineStats {
+	e.update()
+	now := e.env.Now()
+	s := EngineStats{Name: e.name, Transfers: e.transfers, BytesMB: e.bytesMB}
+	if now > 0 {
+		s.BusyFrac = e.busyIntegral / now
+		s.MeanActive = e.loadIntegral / now
+		// Delivered bandwidth equals bwMBps whenever busy (work conserving).
+		s.Utilization = e.busyIntegral * e.bwMBps / (now * e.bwMBps)
+	}
+	return s
+}

@@ -1,0 +1,671 @@
+// Package clouddir simulates the cloud-director layer that turns a
+// virtualized datacenter into a self-service cloud: API cells that front
+// every request, catalogs of templates, vApp composition, placement,
+// fast provisioning (linked clones with shadow-template chains), lease
+// expiry, and the background datastore rebalancer.
+//
+// This is the layer whose workload the paper characterizes: every
+// self-service request pays a cell stage before reaching the
+// virtualization manager, fast provisioning removes most of the
+// data-plane cost from deploys, and the resulting provisioning rates
+// force previously rare "cloud reconfiguration" work — shadow-template
+// creation and datastore rebalancing — to run continuously.
+package clouddir
+
+import (
+	"fmt"
+
+	"cloudmcp/internal/inventory"
+	"cloudmcp/internal/mgmt"
+	"cloudmcp/internal/ops"
+	"cloudmcp/internal/rng"
+	"cloudmcp/internal/sim"
+)
+
+// PlacementPolicy selects how deploys choose a datastore.
+type PlacementPolicy int
+
+// Placement policies.
+const (
+	// PlaceMostFree picks the datastore with the most free space —
+	// capacity-balancing, the modern default.
+	PlaceMostFree PlacementPolicy = iota
+	// PlaceStickyOrg hashes the tenant to a datastore (a storage-profile
+	// pinning model): heavy tenants overfill their datastore, which is
+	// what makes background rebalancing necessary. Falls back to
+	// most-free when the pinned datastore is full.
+	PlaceStickyOrg
+)
+
+func (p PlacementPolicy) String() string {
+	if p == PlaceStickyOrg {
+		return "sticky-org"
+	}
+	return "most-free"
+}
+
+// Config sizes the cloud-director deployment.
+type Config struct {
+	// Cells is the number of director cells (front-end servers).
+	Cells int
+	// CellThreads is each cell's concurrent request capacity.
+	CellThreads int
+	// FastProvisioning selects linked-clone deploys when true, full
+	// clones otherwise.
+	FastProvisioning bool
+	// MaxChainLen caps a linked-clone chain before a new shadow template
+	// must be created (0 → the storage policy's limit).
+	MaxChainLen int
+	// RebalanceThreshold is the datastore fill-imbalance (difference in
+	// fill fraction) above which the rebalancer acts. <=0 disables it.
+	RebalanceThreshold float64
+	// RebalanceCheckS is how often the rebalancer evaluates imbalance.
+	RebalanceCheckS float64
+	// RebalanceBatch is the maximum VMs moved per rebalance pass.
+	RebalanceBatch int
+	// LeaseS is the vApp runtime lease; expired vApps are undeployed
+	// automatically. 0 disables leases.
+	LeaseS float64
+	// Placement selects the datastore-placement policy.
+	Placement PlacementPolicy
+	// OrgQuotaVMs caps each tenant's live VMs (0 = unlimited). Quota is
+	// enforced at vApp admission, counting in-flight deploys.
+	OrgQuotaVMs int
+}
+
+// DefaultConfig returns a two-cell director with fast provisioning on and
+// the rebalancer checking hourly.
+func DefaultConfig() Config {
+	return Config{
+		Cells:              2,
+		CellThreads:        16,
+		FastProvisioning:   true,
+		RebalanceThreshold: 0.15,
+		RebalanceCheckS:    3600,
+		RebalanceBatch:     4,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Cells <= 0 || c.CellThreads <= 0 {
+		return fmt.Errorf("clouddir: non-positive cells/threads in %+v", c)
+	}
+	if c.RebalanceThreshold > 0 && (c.RebalanceCheckS <= 0 || c.RebalanceBatch <= 0) {
+		return fmt.Errorf("clouddir: rebalancer enabled with bad interval/batch in %+v", c)
+	}
+	return nil
+}
+
+// chainKey identifies one linked-clone base chain: a source template's
+// presence on one datastore.
+type chainKey struct {
+	tpl inventory.ID
+	ds  inventory.ID
+}
+
+// chainState tracks the active base and clones-since-shadow for one chain.
+type chainState struct {
+	base     inventory.ID // template or shadow template the next clone links to
+	count    int          // linked clones since base creation
+	creating *sim.Signal  // non-nil while a shadow copy is in flight
+}
+
+// RebalanceEvent records one rebalancer pass that moved VMs.
+type RebalanceEvent struct {
+	Start, End      sim.Time
+	Moved           int
+	ImbalanceBefore float64
+	ImbalanceAfter  float64
+}
+
+// Director is the simulated cloud director.
+type Director struct {
+	env    *sim.Env
+	mgr    *mgmt.Manager
+	model  *ops.CostModel
+	stream *rng.Stream
+	cfg    Config
+
+	cells []*sim.Resource
+	rr    int
+
+	chains map[chainKey]*chainState
+
+	// pendingGB tracks space claimed by in-flight deploys per datastore
+	// so concurrent placements don't herd onto the same "most free"
+	// datastore before any reservation lands.
+	pendingGB map[inventory.ID]float64
+
+	nextVApp   int64
+	nextVM     int64
+	nextShadow int64
+
+	orgVMs          map[string]int
+	quotaRejects    int64
+	shadowCopies    int64
+	leaseExpiries   int64
+	rebalanceStarts int64
+	rebalanceMoves  int64 // storage-migrations begun by the rebalancer
+	rebalanceFutile int64 // passes that found no movable candidate
+	rebalancing     bool
+	rebalances      []RebalanceEvent
+	liveVApps       map[inventory.ID]bool
+}
+
+// New builds a director over an existing manager. The stream seeds cell
+// stage-time draws; it must be distinct from the manager's stream.
+func New(env *sim.Env, mgr *mgmt.Manager, model *ops.CostModel, stream *rng.Stream, cfg Config) (*Director, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	d := &Director{
+		env: env, mgr: mgr, model: model, stream: stream, cfg: cfg,
+		chains:    make(map[chainKey]*chainState),
+		pendingGB: make(map[inventory.ID]float64),
+		orgVMs:    make(map[string]int),
+		liveVApps: make(map[inventory.ID]bool),
+	}
+	for i := 0; i < cfg.Cells; i++ {
+		d.cells = append(d.cells, sim.NewResource(env, fmt.Sprintf("cell%d", i), cfg.CellThreads))
+	}
+	return d, nil
+}
+
+// Manager returns the underlying virtualization manager.
+func (d *Director) Manager() *mgmt.Manager { return d.mgr }
+
+// Config returns the director's configuration.
+func (d *Director) Config() Config { return d.cfg }
+
+func (d *Director) maxChain() int {
+	if d.cfg.MaxChainLen > 0 {
+		return d.cfg.MaxChainLen
+	}
+	return d.mgr.Storage().Policy.MaxChainLen
+}
+
+// cellStage charges one cell pass for an operation of kind k, returning
+// (wait, service) seconds. Cells are assigned round-robin per request.
+func (d *Director) cellStage(p *sim.Proc, k ops.Kind) (wait, service float64) {
+	cell := d.cells[d.rr%len(d.cells)]
+	d.rr++
+	s := d.model.Sample(d.stream, k)
+	t0 := p.Now()
+	cell.Acquire(p, 1)
+	wait = p.Now() - t0
+	p.Sleep(s.Cell)
+	cell.Release(1)
+	return wait, s.Cell
+}
+
+// reqCtx runs the cell stage and returns the ReqCtx carrying it.
+func (d *Director) reqCtx(p *sim.Proc, org string, k ops.Kind, submit sim.Time) mgmt.ReqCtx {
+	wait, service := d.cellStage(p, k)
+	return mgmt.ReqCtx{
+		Org:    org,
+		Submit: submit,
+		Pre:    ops.Breakdown{Queue: wait, Cell: service},
+	}
+}
+
+// placeHost returns the cluster host with the most free memory that fits
+// memMB, or nil when none fits.
+func (d *Director) placeHost(memMB int) *inventory.Host {
+	inv := d.mgr.Inventory()
+	var best *inventory.Host
+	for _, id := range inv.Hosts() {
+		h := inv.Host(id)
+		if !h.InService() || h.FreeMemMB() < memMB {
+			continue
+		}
+		if best == nil || h.FreeMemMB() > best.FreeMemMB() {
+			best = h
+		}
+	}
+	return best
+}
+
+// placeDatastore returns a datastore that fits needGB under the
+// configured placement policy, or nil when none fits.
+func (d *Director) placeDatastore(needGB float64, org string) *inventory.Datastore {
+	inv := d.mgr.Inventory()
+	if d.cfg.Placement == PlaceStickyOrg {
+		ids := inv.Datastores()
+		if len(ids) > 0 {
+			h := uint32(2166136261)
+			for i := 0; i < len(org); i++ {
+				h = (h ^ uint32(org[i])) * 16777619
+			}
+			ds := inv.Datastore(ids[int(h)%len(ids)])
+			if d.effectiveFree(ds) >= needGB {
+				return ds
+			}
+		}
+		// Pinned datastore is full: fall through to most-free.
+	}
+	var best *inventory.Datastore
+	for _, id := range inv.Datastores() {
+		ds := inv.Datastore(id)
+		if d.effectiveFree(ds) < needGB {
+			continue
+		}
+		if best == nil || d.effectiveFree(ds) > d.effectiveFree(best) {
+			best = ds
+		}
+	}
+	return best
+}
+
+// effectiveFree is the datastore's free space net of in-flight deploy
+// reservations.
+func (d *Director) effectiveFree(ds *inventory.Datastore) float64 {
+	return ds.FreeGB() - d.pendingGB[ds.ID]
+}
+
+// placeNearBase returns the most-free datastore that already holds a
+// linked-clone base for tpl (its home datastore or an existing shadow)
+// and fits needGB, or nil when none qualifies.
+func (d *Director) placeNearBase(tpl *inventory.Template, needGB float64) *inventory.Datastore {
+	inv := d.mgr.Inventory()
+	var best *inventory.Datastore
+	consider := func(ds *inventory.Datastore) {
+		if ds == nil || d.effectiveFree(ds) < needGB {
+			return
+		}
+		if best == nil || d.effectiveFree(ds) > d.effectiveFree(best) {
+			best = ds
+		}
+	}
+	consider(inv.Datastore(tpl.DatastoreID))
+	for key, cs := range d.chains {
+		if key.tpl == tpl.ID && cs.base != inventory.None {
+			consider(inv.Datastore(key.ds))
+		}
+	}
+	return best
+}
+
+// baseFor resolves (and if necessary creates) the linked-clone base for
+// tpl on ds, paying a shadow full-copy when the datastore has no base yet
+// or the chain hit its limit. It returns the base template to clone from
+// plus the seconds spent waiting for someone else's shadow copy (queue
+// time) and copying a shadow itself (data time).
+func (d *Director) baseFor(p *sim.Proc, tpl *inventory.Template, ds *inventory.Datastore) (base *inventory.Template, waitS, copyS float64, err error) {
+	inv := d.mgr.Inventory()
+	key := chainKey{tpl: tpl.ID, ds: ds.ID}
+	cs, ok := d.chains[key]
+	if !ok {
+		cs = &chainState{}
+		if ds.ID == tpl.DatastoreID {
+			cs.base = tpl.ID
+		}
+		d.chains[key] = cs
+	}
+	for cs.base == inventory.None || cs.count >= d.maxChain() {
+		if cs.creating != nil {
+			// Another deploy is already copying the shadow; wait for it
+			// and re-check rather than duplicating the copy.
+			t0 := p.Now()
+			cs.creating.Wait(p)
+			waitS += p.Now() - t0
+			continue
+		}
+		cs.creating = sim.NewSignal(d.env)
+		d.nextShadow++
+		name := fmt.Sprintf("shadow-%s-%d", tpl.Name, d.nextShadow)
+		t0 := p.Now()
+		shadow, cerr := d.mgr.FullCopyTemplate(p, tpl, ds, name)
+		copyS += p.Now() - t0
+		sig := cs.creating
+		cs.creating = nil
+		if cerr != nil {
+			sig.Fire()
+			return nil, waitS, copyS, cerr
+		}
+		d.shadowCopies++
+		cs.base = shadow.ID
+		cs.count = 0
+		sig.Fire()
+		break
+	}
+	cs.count++
+	return inv.Template(cs.base), waitS, copyS, nil
+}
+
+// DeployResult reports one DeployVApp call.
+type DeployResult struct {
+	VApp  *inventory.VApp
+	Tasks []*mgmt.Task // per-VM deploy (and power-on) tasks, in order
+	Err   error        // first error encountered, if any
+}
+
+// DeployVApp provisions a vApp of nVMs instances of tpl for org, placing
+// each VM independently, and optionally powers them on. VM-level deploys
+// proceed in parallel, as director cells do. The vApp is subject to the
+// configured lease.
+func (d *Director) DeployVApp(p *sim.Proc, org string, tpl *inventory.Template, nVMs int, powerOn bool) *DeployResult {
+	if nVMs <= 0 {
+		return &DeployResult{Err: fmt.Errorf("clouddir: vApp size %d", nVMs)}
+	}
+	if q := d.cfg.OrgQuotaVMs; q > 0 && d.orgVMs[org]+nVMs > q {
+		d.quotaRejects++
+		return &DeployResult{Err: fmt.Errorf("clouddir: org %s over quota (%d live + %d requested > %d)",
+			org, d.orgVMs[org], nVMs, q)}
+	}
+	// Reserve quota for the whole vApp up front; failures are returned
+	// below once the per-VM outcomes are known.
+	d.orgVMs[org] += nVMs
+	inv := d.mgr.Inventory()
+	submit := p.Now()
+	d.nextVApp++
+	dc := inv.Datacenter(inv.Datacenters()[0])
+	va := inv.AddVApp(dc, fmt.Sprintf("vapp-%d", d.nextVApp), org)
+	res := &DeployResult{VApp: va, Tasks: make([]*mgmt.Task, 0, nVMs*2)}
+
+	slots := make([]vmOutcome, nVMs)
+	done := sim.NewSignal(d.env)
+	remaining := nVMs
+	for i := 0; i < nVMs; i++ {
+		i := i
+		d.nextVM++
+		name := fmt.Sprintf("%s-vm%d", va.Name, i)
+		d.env.Go("deploy:"+name, func(hp *sim.Proc) {
+			defer func() {
+				remaining--
+				if remaining == 0 {
+					done.Fire()
+				}
+			}()
+			slots[i] = d.deployOne(hp, org, name, tpl, va, powerOn, submit)
+		})
+	}
+	if remaining > 0 {
+		done.Wait(p)
+	}
+	deployed := 0
+	for i := range slots {
+		if slots[i].deploy != nil {
+			res.Tasks = append(res.Tasks, slots[i].deploy)
+			if slots[i].deploy.Err == nil {
+				deployed++
+			}
+		}
+		if slots[i].pwr != nil {
+			res.Tasks = append(res.Tasks, slots[i].pwr)
+		}
+		if slots[i].err != nil && res.Err == nil {
+			res.Err = slots[i].err
+		}
+	}
+	d.orgVMs[org] -= nVMs - deployed // release quota held by failures
+	d.liveVApps[va.ID] = true
+	if d.cfg.LeaseS > 0 {
+		vaID := va.ID
+		d.env.Go("lease:"+va.Name, func(lp *sim.Proc) {
+			lp.Sleep(d.cfg.LeaseS)
+			if !d.liveVApps[vaID] {
+				return
+			}
+			d.leaseExpiries++
+			d.DeleteVApp(lp, inv.VApp(vaID), "system")
+		})
+	}
+	return res
+}
+
+// vmOutcome is the result of deploying one vApp member VM.
+type vmOutcome struct {
+	deploy *mgmt.Task
+	pwr    *mgmt.Task
+	err    error
+}
+
+// deployOne provisions a single vApp member VM.
+func (d *Director) deployOne(p *sim.Proc, org, name string, tpl *inventory.Template, va *inventory.VApp, powerOn bool, submit sim.Time) (out vmOutcome) {
+	ctx := d.reqCtx(p, org, ops.KindDeploy, submit)
+
+	host := d.placeHost(tpl.MemMB)
+	if host == nil {
+		out.err = fmt.Errorf("clouddir: no host fits %s (%d MB)", name, tpl.MemMB)
+		return out
+	}
+	mode := ops.FullClone
+	needGB := tpl.DiskGB
+	if d.cfg.FastProvisioning {
+		mode = ops.LinkedClone
+		needGB = d.mgr.Storage().Policy.DeltaDiskGB
+	}
+	var ds *inventory.Datastore
+	if mode == ops.LinkedClone {
+		// Linked clones are placed next to an existing base for their
+		// template whenever one fits — shadow full-copies are paid only
+		// when every datastore with a base is full or a chain hits its
+		// limit, matching how directors avoid gratuitous shadow churn.
+		ds = d.placeNearBase(tpl, needGB)
+	}
+	if ds == nil {
+		ds = d.placeDatastore(needGB, org)
+	}
+	if ds == nil {
+		out.err = fmt.Errorf("clouddir: no datastore fits %s (%.1f GB)", name, needGB)
+		return out
+	}
+	d.pendingGB[ds.ID] += needGB
+	defer func() { d.pendingGB[ds.ID] -= needGB }()
+	base := tpl
+	if mode == ops.LinkedClone {
+		// A shadow copy, when needed, is data-plane work this deploy
+		// pays for; waiting for a shadow someone else is copying is
+		// queue time. Both fold into the task's breakdown.
+		b, waitS, copyS, err := d.baseFor(p, tpl, ds)
+		ctx.Pre.Queue += waitS
+		ctx.Pre.Data += copyS
+		if err != nil {
+			out.err = err
+			return out
+		}
+		base = b
+	}
+	vm, task := d.mgr.DeployVM(p, name, base, host, ds, mode, ctx)
+	out.deploy = task
+	if task.Err != nil {
+		out.err = task.Err
+		return out
+	}
+	vm.VAppID = va.ID
+	va.VMs = append(va.VMs, vm.ID)
+	if powerOn {
+		pctx := d.reqCtx(p, org, ops.KindPowerOn, p.Now())
+		out.pwr = d.mgr.PowerOn(p, vm, pctx)
+		if out.pwr.Err != nil {
+			out.err = out.pwr.Err
+		}
+	}
+	return out
+}
+
+// DeleteVApp powers off and destroys every VM of va, then removes the
+// vApp. It returns the tasks issued.
+func (d *Director) DeleteVApp(p *sim.Proc, va *inventory.VApp, org string) []*mgmt.Task {
+	inv := d.mgr.Inventory()
+	delete(d.liveVApps, va.ID)
+	var tasks []*mgmt.Task
+	// Copy: destroy mutates va.VMs.
+	ids := make([]inventory.ID, len(va.VMs))
+	copy(ids, va.VMs)
+	for _, id := range ids {
+		vm := inv.VM(id)
+		if vm == nil {
+			continue
+		}
+		if vm.State == inventory.VMPoweredOn {
+			ctx := d.reqCtx(p, org, ops.KindPowerOff, p.Now())
+			tasks = append(tasks, d.mgr.PowerOff(p, vm, ctx))
+		}
+		ctx := d.reqCtx(p, org, ops.KindDestroy, p.Now())
+		task := d.mgr.Destroy(p, vm, ctx)
+		tasks = append(tasks, task)
+		if task.Err == nil {
+			d.orgVMs[va.OrgName]--
+		}
+	}
+	inv.RemoveVApp(va)
+	return tasks
+}
+
+// OrgLiveVMs returns the director's quota accounting for org (live plus
+// in-flight VMs deployed through the director).
+func (d *Director) OrgLiveVMs(org string) int { return d.orgVMs[org] }
+
+// PublishTemplate copies tpl into the catalog on dst as a new template —
+// the explicit catalog operation self-service clouds perform when an org
+// shares an image.
+func (d *Director) PublishTemplate(p *sim.Proc, tpl *inventory.Template, dst *inventory.Datastore, name, org string) (*inventory.Template, *mgmt.Task) {
+	submit := p.Now()
+	ctx := d.reqCtx(p, org, ops.KindCatalogPublish, submit)
+	req := ops.Request{Kind: ops.KindCatalogPublish, TemplateID: tpl.ID}
+	req.Org = ctx.Org
+	req.Submit = float64(ctx.Submit)
+	if req.Submit == 0 {
+		req.Submit = float64(p.Now())
+	}
+	var out *inventory.Template
+	task := d.mgr.Execute(p, mgmt.ExecSpec{
+		Req:         req,
+		LockTargets: []inventory.ID{tpl.ID, dst.ID},
+		Pre:         ctx.Pre,
+		Body: func(p *sim.Proc) error {
+			t, err := d.mgr.FullCopyTemplate(p, tpl, dst, name)
+			out = t
+			return err
+		},
+	})
+	return out, task
+}
+
+// StartRebalancer launches the background datastore rebalancer if the
+// configuration enables it.
+func (d *Director) StartRebalancer() {
+	if d.cfg.RebalanceThreshold <= 0 {
+		return
+	}
+	d.env.Go("rebalancer", func(p *sim.Proc) {
+		for {
+			p.Sleep(d.cfg.RebalanceCheckS)
+			d.rebalanceOnce(p)
+		}
+	})
+}
+
+// rebalanceOnce runs a single rebalance pass (exported for tests via
+// RebalanceNow).
+func (d *Director) rebalanceOnce(p *sim.Proc) {
+	pool := d.mgr.Storage()
+	before := pool.Imbalance()
+	if before <= d.cfg.RebalanceThreshold || d.rebalancing {
+		// Skip when balanced or when a previous pass is still moving
+		// VMs — passes are long (bulk copies under contention) and
+		// overlapping passes would fight over the same candidates.
+		return
+	}
+	d.rebalancing = true
+	defer func() { d.rebalancing = false }()
+	d.rebalanceStarts++
+	inv := d.mgr.Inventory()
+	start := p.Now()
+	req := ops.Request{Kind: ops.KindRebalance, Org: "system", Submit: float64(p.Now())}
+	moved := 0
+	d.mgr.Execute(p, mgmt.ExecSpec{
+		Req: req,
+		Body: func(p *sim.Proc) error {
+			for i := 0; i < d.cfg.RebalanceBatch; i++ {
+				srcID, dstID := pool.MostAndLeastFilled()
+				if srcID == inventory.None || pool.Imbalance() <= d.cfg.RebalanceThreshold/2 {
+					break
+				}
+				src := inv.Datastore(srcID)
+				dst := inv.Datastore(dstID)
+				vm := d.pickMovable(src, dst)
+				if vm == nil {
+					break
+				}
+				d.rebalanceMoves++
+				ctx := mgmt.ReqCtx{Org: "system", Submit: p.Now()}
+				task := d.mgr.StorageMigrate(p, vm, dst, ctx)
+				if task.Err != nil {
+					return task.Err
+				}
+				moved++
+			}
+			return nil
+		},
+	})
+	if moved > 0 {
+		d.rebalances = append(d.rebalances, RebalanceEvent{
+			Start: start, End: p.Now(), Moved: moved,
+			ImbalanceBefore: before, ImbalanceAfter: pool.Imbalance(),
+		})
+	} else {
+		// Imbalance above threshold but nothing movable: linked-clone
+		// clouds reach this state when the imbalance is carried by
+		// shadow templates, which are pinned — a design pressure the
+		// reconfiguration experiments report.
+		d.rebalanceFutile++
+	}
+}
+
+// RebalanceNow runs one rebalance pass immediately (testing and the
+// capacity-planning example).
+func (d *Director) RebalanceNow(p *sim.Proc) { d.rebalanceOnce(p) }
+
+// pickMovable returns the largest full-clone VM on src that fits dst, or
+// nil. Linked clones are pinned to their base's datastore and are not
+// rebalancing candidates.
+func (d *Director) pickMovable(src, dst *inventory.Datastore) *inventory.VM {
+	inv := d.mgr.Inventory()
+	var best *inventory.VM
+	for _, id := range src.VMs {
+		vm := inv.VM(id)
+		if vm == nil || vm.LinkedParent != inventory.None {
+			continue
+		}
+		if vm.DiskGB > dst.FreeGB() {
+			continue
+		}
+		if best == nil || vm.DiskGB > best.DiskGB {
+			best = vm
+		}
+	}
+	return best
+}
+
+// Stats is the director's activity summary.
+type Stats struct {
+	VAppsDeployed   int64
+	ShadowCopies    int64
+	LeaseExpiries   int64
+	RebalanceStarts int64 // passes begun (completed passes appear in Rebalances)
+	RebalanceMoves  int64 // storage-migrations begun by the rebalancer
+	RebalanceFutile int64 // passes that found no movable candidate
+	QuotaRejects    int64 // vApp requests refused by tenant quota
+	Rebalances      []RebalanceEvent
+	Cells           []sim.ResourceStats
+}
+
+// Stats returns accumulated statistics.
+func (d *Director) Stats() Stats {
+	s := Stats{
+		VAppsDeployed:   d.nextVApp,
+		ShadowCopies:    d.shadowCopies,
+		LeaseExpiries:   d.leaseExpiries,
+		RebalanceStarts: d.rebalanceStarts,
+		RebalanceMoves:  d.rebalanceMoves,
+		RebalanceFutile: d.rebalanceFutile,
+		QuotaRejects:    d.quotaRejects,
+		Rebalances:      append([]RebalanceEvent(nil), d.rebalances...),
+	}
+	for _, c := range d.cells {
+		s.Cells = append(s.Cells, c.Stats())
+	}
+	return s
+}

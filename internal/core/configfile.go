@@ -1,0 +1,339 @@
+package core
+
+// JSON scenario files: a stable, human-editable wire format for Config so
+// that experiment setups can be checked into a repo and re-run exactly
+// (cmd/mcpsim -config scenario.json). The wire format is decoupled from
+// the in-memory structs so internal refactors don't break saved
+// scenarios; operation names (not enum values) key the cost overrides.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cloudmcp/internal/clouddir"
+	"cloudmcp/internal/drs"
+	"cloudmcp/internal/mgmt"
+	"cloudmcp/internal/mgmtdb"
+	"cloudmcp/internal/netsim"
+	"cloudmcp/internal/ops"
+)
+
+// ConfigFile is the JSON wire form of a Config. Zero-valued fields keep
+// the defaults of DefaultConfig(seed).
+type ConfigFile struct {
+	Seed int64 `json:"seed,omitempty"`
+
+	Topology *TopologyFile `json:"topology,omitempty"`
+	Mgmt     *MgmtFile     `json:"mgmt,omitempty"`
+	Director *DirectorFile `json:"director,omitempty"`
+	Storage  *StorageFile  `json:"storage,omitempty"`
+	DRS      *DRSFile      `json:"drs,omitempty"`
+
+	// Costs overrides per-operation stage costs by operation name
+	// (ops.Kind String() names, e.g. "deploy", "powerOn").
+	Costs map[string]CostFile `json:"costs,omitempty"`
+	// CostCV overrides the cost model's coefficient of variation
+	// (nil keeps the default).
+	CostCV *float64 `json:"costCV,omitempty"`
+
+	Record *bool `json:"record,omitempty"`
+}
+
+// TopologyFile mirrors Topology.
+type TopologyFile struct {
+	Hosts          int     `json:"hosts,omitempty"`
+	HostCPUMHz     int     `json:"hostCPUMHz,omitempty"`
+	HostMemMB      int     `json:"hostMemMB,omitempty"`
+	Datastores     int     `json:"datastores,omitempty"`
+	DatastoreGB    float64 `json:"datastoreGB,omitempty"`
+	DatastoreMBps  float64 `json:"datastoreMBps,omitempty"`
+	Templates      int     `json:"templates,omitempty"`
+	TemplateDiskGB float64 `json:"templateDiskGB,omitempty"`
+	TemplateMemMB  int     `json:"templateMemMB,omitempty"`
+	TemplateCPUs   int     `json:"templateCPUs,omitempty"`
+}
+
+// MgmtFile mirrors mgmt.Config plus the optional substrate models.
+type MgmtFile struct {
+	Threads     int    `json:"threads,omitempty"`
+	DBConns     int    `json:"dbConns,omitempty"`
+	MaxInFlight int    `json:"maxInFlight,omitempty"`
+	HostSlots   int    `json:"hostSlots,omitempty"`
+	Granularity string `json:"granularity,omitempty"` // coarse|host|entity
+
+	Database *DatabaseFile `json:"database,omitempty"`
+	Network  *NetworkFile  `json:"network,omitempty"`
+}
+
+// DatabaseFile mirrors mgmtdb.Config.
+type DatabaseFile struct {
+	Conns        int     `json:"conns,omitempty"`
+	WriteS       float64 `json:"writeS,omitempty"`
+	FlushS       float64 `json:"flushS,omitempty"`
+	GroupWindowS float64 `json:"groupWindowS,omitempty"`
+}
+
+// NetworkFile mirrors netsim.Config.
+type NetworkFile struct {
+	MBps float64 `json:"mbps,omitempty"`
+}
+
+// DirectorFile mirrors clouddir.Config.
+type DirectorFile struct {
+	Cells              int      `json:"cells,omitempty"`
+	CellThreads        int      `json:"cellThreads,omitempty"`
+	FastProvisioning   *bool    `json:"fastProvisioning,omitempty"`
+	MaxChainLen        int      `json:"maxChainLen,omitempty"`
+	RebalanceThreshold *float64 `json:"rebalanceThreshold,omitempty"`
+	RebalanceCheckS    float64  `json:"rebalanceCheckS,omitempty"`
+	RebalanceBatch     int      `json:"rebalanceBatch,omitempty"`
+	LeaseS             float64  `json:"leaseS,omitempty"`
+	Placement          string   `json:"placement,omitempty"` // most-free|sticky-org
+	OrgQuotaVMs        int      `json:"orgQuotaVMs,omitempty"`
+}
+
+// DRSFile mirrors drs.Config; presence enables the balancer.
+type DRSFile struct {
+	Threshold float64 `json:"threshold,omitempty"`
+	CheckS    float64 `json:"checkS,omitempty"`
+	Batch     int     `json:"batch,omitempty"`
+}
+
+// StorageFile mirrors storage.Policy.
+type StorageFile struct {
+	DeltaDiskGB  float64 `json:"deltaDiskGB,omitempty"`
+	DeltaWriteMB float64 `json:"deltaWriteMB,omitempty"`
+	MaxChainLen  int     `json:"maxChainLen,omitempty"`
+	SnapshotGB   float64 `json:"snapshotGB,omitempty"`
+}
+
+// CostFile mirrors ops.StageCost.
+type CostFile struct {
+	CellS    *float64 `json:"cellS,omitempty"`
+	MgmtS    *float64 `json:"mgmtS,omitempty"`
+	DBWrites *int     `json:"dbWrites,omitempty"`
+	HostS    *float64 `json:"hostS,omitempty"`
+}
+
+// LoadConfig reads a JSON scenario and applies it over DefaultConfig.
+// Unknown fields are rejected so typos in scenario files fail loudly.
+func LoadConfig(r io.Reader) (Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f ConfigFile
+	if err := dec.Decode(&f); err != nil {
+		return Config{}, fmt.Errorf("core: parse scenario: %w", err)
+	}
+	return f.Apply()
+}
+
+// Apply converts the wire form to a runnable Config over the defaults.
+func (f *ConfigFile) Apply() (Config, error) {
+	cfg := DefaultConfig(f.Seed)
+	if t := f.Topology; t != nil {
+		setInt := func(dst *int, v int) {
+			if v != 0 {
+				*dst = v
+			}
+		}
+		setF := func(dst *float64, v float64) {
+			if v != 0 {
+				*dst = v
+			}
+		}
+		setInt(&cfg.Topology.Hosts, t.Hosts)
+		setInt(&cfg.Topology.HostCPUMHz, t.HostCPUMHz)
+		setInt(&cfg.Topology.HostMemMB, t.HostMemMB)
+		setInt(&cfg.Topology.Datastores, t.Datastores)
+		setF(&cfg.Topology.DatastoreGB, t.DatastoreGB)
+		setF(&cfg.Topology.DatastoreMBps, t.DatastoreMBps)
+		setInt(&cfg.Topology.Templates, t.Templates)
+		setF(&cfg.Topology.TemplateDiskGB, t.TemplateDiskGB)
+		setInt(&cfg.Topology.TemplateMemMB, t.TemplateMemMB)
+		setInt(&cfg.Topology.TemplateCPUs, t.TemplateCPUs)
+	}
+	if m := f.Mgmt; m != nil {
+		if m.Threads != 0 {
+			cfg.Mgmt.Threads = m.Threads
+		}
+		if m.DBConns != 0 {
+			cfg.Mgmt.DBConns = m.DBConns
+		}
+		if m.MaxInFlight != 0 {
+			cfg.Mgmt.MaxInFlight = m.MaxInFlight
+		}
+		if m.HostSlots != 0 {
+			cfg.Mgmt.HostSlots = m.HostSlots
+		}
+		switch m.Granularity {
+		case "":
+		case "coarse":
+			cfg.Mgmt.Granularity = mgmt.GranularityCoarse
+		case "host":
+			cfg.Mgmt.Granularity = mgmt.GranularityHost
+		case "entity":
+			cfg.Mgmt.Granularity = mgmt.GranularityEntity
+		default:
+			return Config{}, fmt.Errorf("core: unknown granularity %q", m.Granularity)
+		}
+		if m.Database != nil {
+			db := mgmtdb.DefaultConfig()
+			if m.Database.Conns != 0 {
+				db.Conns = m.Database.Conns
+			}
+			if m.Database.WriteS != 0 {
+				db.WriteS = m.Database.WriteS
+			}
+			if m.Database.FlushS != 0 {
+				db.FlushS = m.Database.FlushS
+			}
+			if m.Database.GroupWindowS != 0 {
+				db.GroupWindowS = m.Database.GroupWindowS
+			}
+			cfg.Mgmt.Database = &db
+		}
+		if m.Network != nil {
+			net := netsim.DefaultConfig()
+			if m.Network.MBps != 0 {
+				net.MBps = m.Network.MBps
+			}
+			cfg.Mgmt.Network = &net
+		}
+	}
+	if d := f.Director; d != nil {
+		if d.Cells != 0 {
+			cfg.Director.Cells = d.Cells
+		}
+		if d.CellThreads != 0 {
+			cfg.Director.CellThreads = d.CellThreads
+		}
+		if d.FastProvisioning != nil {
+			cfg.Director.FastProvisioning = *d.FastProvisioning
+		}
+		if d.MaxChainLen != 0 {
+			cfg.Director.MaxChainLen = d.MaxChainLen
+		}
+		if d.RebalanceThreshold != nil {
+			cfg.Director.RebalanceThreshold = *d.RebalanceThreshold
+		}
+		if d.RebalanceCheckS != 0 {
+			cfg.Director.RebalanceCheckS = d.RebalanceCheckS
+		}
+		if d.RebalanceBatch != 0 {
+			cfg.Director.RebalanceBatch = d.RebalanceBatch
+		}
+		if d.LeaseS != 0 {
+			cfg.Director.LeaseS = d.LeaseS
+		}
+		switch d.Placement {
+		case "":
+		case "most-free":
+			cfg.Director.Placement = clouddir.PlaceMostFree
+		case "sticky-org":
+			cfg.Director.Placement = clouddir.PlaceStickyOrg
+		default:
+			return Config{}, fmt.Errorf("core: unknown placement %q", d.Placement)
+		}
+		if d.OrgQuotaVMs != 0 {
+			cfg.Director.OrgQuotaVMs = d.OrgQuotaVMs
+		}
+	}
+	if d := f.DRS; d != nil {
+		cfg.DRS = drs.DefaultConfig()
+		if d.Threshold != 0 {
+			cfg.DRS.Threshold = d.Threshold
+		}
+		if d.CheckS != 0 {
+			cfg.DRS.CheckS = d.CheckS
+		}
+		if d.Batch != 0 {
+			cfg.DRS.Batch = d.Batch
+		}
+	}
+	if s := f.Storage; s != nil {
+		if s.DeltaDiskGB != 0 {
+			cfg.Storage.DeltaDiskGB = s.DeltaDiskGB
+		}
+		if s.DeltaWriteMB != 0 {
+			cfg.Storage.DeltaWriteMB = s.DeltaWriteMB
+		}
+		if s.MaxChainLen != 0 {
+			cfg.Storage.MaxChainLen = s.MaxChainLen
+		}
+		if s.SnapshotGB != 0 {
+			cfg.Storage.SnapshotGB = s.SnapshotGB
+		}
+	}
+	if len(f.Costs) > 0 || f.CostCV != nil {
+		model := ops.DefaultCostModel()
+		if f.CostCV != nil {
+			model.CV = *f.CostCV
+		}
+		for name, over := range f.Costs {
+			kind, err := ops.ParseKind(name)
+			if err != nil {
+				return Config{}, fmt.Errorf("core: cost override: %w", err)
+			}
+			c := model.Stage[kind]
+			if over.CellS != nil {
+				c.CellS = *over.CellS
+			}
+			if over.MgmtS != nil {
+				c.MgmtS = *over.MgmtS
+			}
+			if over.DBWrites != nil {
+				c.DBWrites = *over.DBWrites
+			}
+			if over.HostS != nil {
+				c.HostS = *over.HostS
+			}
+			model.Stage[kind] = c
+		}
+		if err := model.Validate(); err != nil {
+			return Config{}, err
+		}
+		cfg.Model = model
+	}
+	if f.Record != nil {
+		cfg.Record = *f.Record
+	}
+	return cfg, nil
+}
+
+// WriteDefaultConfig emits a fully-populated scenario file matching
+// DefaultConfig(seed), as a starting point for editing.
+func WriteDefaultConfig(w io.Writer, seed int64) error {
+	def := DefaultConfig(seed)
+	fast := def.Director.FastProvisioning
+	rec := def.Record
+	thr := def.Director.RebalanceThreshold
+	f := ConfigFile{
+		Seed: seed,
+		Topology: &TopologyFile{
+			Hosts: def.Topology.Hosts, HostCPUMHz: def.Topology.HostCPUMHz, HostMemMB: def.Topology.HostMemMB,
+			Datastores: def.Topology.Datastores, DatastoreGB: def.Topology.DatastoreGB, DatastoreMBps: def.Topology.DatastoreMBps,
+			Templates: def.Topology.Templates, TemplateDiskGB: def.Topology.TemplateDiskGB,
+			TemplateMemMB: def.Topology.TemplateMemMB, TemplateCPUs: def.Topology.TemplateCPUs,
+		},
+		Mgmt: &MgmtFile{
+			Threads: def.Mgmt.Threads, DBConns: def.Mgmt.DBConns,
+			MaxInFlight: def.Mgmt.MaxInFlight, HostSlots: def.Mgmt.HostSlots,
+			Granularity: def.Mgmt.Granularity.String(),
+		},
+		Director: &DirectorFile{
+			Cells: def.Director.Cells, CellThreads: def.Director.CellThreads,
+			FastProvisioning: &fast, RebalanceThreshold: &thr,
+			RebalanceCheckS: def.Director.RebalanceCheckS, RebalanceBatch: def.Director.RebalanceBatch,
+			Placement: def.Director.Placement.String(),
+		},
+		Storage: &StorageFile{
+			DeltaDiskGB: def.Storage.DeltaDiskGB, DeltaWriteMB: def.Storage.DeltaWriteMB,
+			MaxChainLen: def.Storage.MaxChainLen, SnapshotGB: def.Storage.SnapshotGB,
+		},
+		Record: &rec,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&f)
+}

@@ -1,0 +1,301 @@
+// Package core is the public façade of the cloudmcp library: it assembles
+// the full simulated stack — inventory, datastores, host agents, the
+// virtualization manager, and the cloud director — from one Config, runs
+// workload profiles against it, and exposes the trace and statistics the
+// characterization pipeline and the experiment harness consume.
+//
+// A minimal use looks like:
+//
+//	cloud, err := core.New(core.DefaultConfig(1))
+//	gen, err := cloud.StartProfile(workload.CloudA())
+//	cloud.Run(6 * 3600)
+//	records := cloud.Records()
+//
+// Everything else in the repository — the examples, the four CLIs, and
+// the per-figure benchmarks — is built on this package.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cloudmcp/internal/clouddir"
+	"cloudmcp/internal/drs"
+	"cloudmcp/internal/inventory"
+	"cloudmcp/internal/mgmt"
+	"cloudmcp/internal/ops"
+	"cloudmcp/internal/rng"
+	"cloudmcp/internal/sim"
+	"cloudmcp/internal/storage"
+	"cloudmcp/internal/trace"
+	"cloudmcp/internal/workload"
+)
+
+// Topology describes the physical installation to build.
+type Topology struct {
+	Hosts      int
+	HostCPUMHz int
+	HostMemMB  int
+
+	Datastores    int
+	DatastoreGB   float64
+	DatastoreMBps float64
+
+	Templates      int
+	TemplateDiskGB float64
+	TemplateMemMB  int
+	TemplateCPUs   int
+}
+
+// DefaultTopology is a mid-size cloud: 32 hosts, 8 datastores, 6 catalog
+// templates of 16 GB.
+func DefaultTopology() Topology {
+	return Topology{
+		Hosts: 32, HostCPUMHz: 80000, HostMemMB: 524288,
+		Datastores: 8, DatastoreGB: 20000, DatastoreMBps: 300,
+		Templates: 6, TemplateDiskGB: 16, TemplateMemMB: 2048, TemplateCPUs: 2,
+	}
+}
+
+// Validate checks the topology for usable values.
+func (t Topology) Validate() error {
+	if t.Hosts <= 0 || t.HostCPUMHz <= 0 || t.HostMemMB <= 0 {
+		return fmt.Errorf("core: bad host topology %+v", t)
+	}
+	if t.Datastores <= 0 || t.DatastoreGB <= 0 || t.DatastoreMBps <= 0 {
+		return fmt.Errorf("core: bad datastore topology %+v", t)
+	}
+	if t.Templates <= 0 || t.TemplateDiskGB <= 0 || t.TemplateMemMB <= 0 || t.TemplateCPUs <= 0 {
+		return fmt.Errorf("core: bad template topology %+v", t)
+	}
+	return nil
+}
+
+// Config assembles a full simulated cloud.
+type Config struct {
+	// Seed drives every random stream in the simulation; the same Config
+	// always produces the same results.
+	Seed int64
+
+	Topology Topology
+	Mgmt     mgmt.Config
+	Director clouddir.Config
+	Storage  storage.Policy
+
+	// DRS enables the compute load balancer (zero Threshold = off, the
+	// default: the synthetic workloads self-balance via most-free
+	// placement, so DRS is opt-in for scenarios that skew load).
+	DRS drs.Config
+
+	// Model prices operations; nil uses ops.DefaultCostModel().
+	Model *ops.CostModel
+
+	// Record controls whether a trace recorder is attached (on by
+	// default in DefaultConfig; disable for long capacity sweeps).
+	Record bool
+}
+
+// DefaultConfig returns a fully-populated configuration for the given
+// seed: default topology, manager, two-cell director with fast
+// provisioning, and trace recording on.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:     seed,
+		Topology: DefaultTopology(),
+		Mgmt:     mgmt.DefaultConfig(),
+		Director: clouddir.DefaultConfig(),
+		Storage:  storage.DefaultPolicy(),
+		Record:   true,
+	}
+}
+
+// Cloud is one assembled simulated installation.
+type Cloud struct {
+	cfg Config
+
+	env      *sim.Env
+	inv      *inventory.Inventory
+	pool     *storage.Pool
+	mgr      *mgmt.Manager
+	dir      *clouddir.Director
+	balancer *drs.Balancer
+	recorder *trace.Recorder
+}
+
+// New builds the cloud described by cfg.
+func New(cfg Config) (*Cloud, error) {
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	model := cfg.Model
+	if model == nil {
+		model = ops.DefaultCostModel()
+	}
+	env := sim.NewEnv()
+	inv := inventory.New()
+	dc := inv.AddDatacenter("dc0")
+	cl := inv.AddCluster(dc, "cluster0")
+	for i := 0; i < cfg.Topology.Hosts; i++ {
+		inv.AddHost(cl, fmt.Sprintf("host%02d", i), cfg.Topology.HostCPUMHz, cfg.Topology.HostMemMB)
+	}
+	var dss []*inventory.Datastore
+	for i := 0; i < cfg.Topology.Datastores; i++ {
+		dss = append(dss, inv.AddDatastore(dc, fmt.Sprintf("ds%02d", i), cfg.Topology.DatastoreGB, cfg.Topology.DatastoreMBps))
+	}
+	for i := 0; i < cfg.Topology.Templates; i++ {
+		// Spread template base disks across datastores.
+		ds := dss[i%len(dss)]
+		inv.AddTemplate(ds, fmt.Sprintf("tpl%02d", i), cfg.Topology.TemplateDiskGB, cfg.Topology.TemplateMemMB, cfg.Topology.TemplateCPUs)
+	}
+	pool := storage.NewPool(env, inv)
+	pool.Policy = cfg.Storage
+	mgr, err := mgmt.New(env, inv, pool, model, rng.Derive(cfg.Seed, "mgmt"), cfg.Mgmt)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := clouddir.New(env, mgr, model, rng.Derive(cfg.Seed, "cells"), cfg.Director)
+	if err != nil {
+		return nil, err
+	}
+	balancer, err := drs.New(env, mgr, cfg.DRS)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cloud{cfg: cfg, env: env, inv: inv, pool: pool, mgr: mgr, dir: dir, balancer: balancer}
+	if cfg.Record {
+		c.recorder = trace.NewRecorder()
+		mgr.AddTaskSink(c.recorder.Sink)
+	}
+	dir.StartRebalancer()
+	balancer.Start()
+	return c, nil
+}
+
+// DRS returns the compute load balancer (idle unless configured).
+func (c *Cloud) DRS() *drs.Balancer { return c.balancer }
+
+// Env returns the simulation environment.
+func (c *Cloud) Env() *sim.Env { return c.env }
+
+// Inventory returns the managed-object inventory.
+func (c *Cloud) Inventory() *inventory.Inventory { return c.inv }
+
+// Storage returns the datastore pool.
+func (c *Cloud) Storage() *storage.Pool { return c.pool }
+
+// Manager returns the virtualization manager.
+func (c *Cloud) Manager() *mgmt.Manager { return c.mgr }
+
+// Director returns the cloud director.
+func (c *Cloud) Director() *clouddir.Director { return c.dir }
+
+// Config returns the configuration the cloud was built with.
+func (c *Cloud) Config() Config { return c.cfg }
+
+// Records returns the operation trace collected so far (nil when
+// recording is disabled).
+func (c *Cloud) Records() []trace.Record {
+	if c.recorder == nil {
+		return nil
+	}
+	return c.recorder.Records()
+}
+
+// ResetTrace discards the trace collected so far; useful for excluding a
+// warm-up phase from measurements.
+func (c *Cloud) ResetTrace() {
+	if c.recorder != nil {
+		c.recorder.Reset()
+	}
+}
+
+// Run advances the simulation until the given virtual time.
+func (c *Cloud) Run(until sim.Time) sim.Time { return c.env.Run(until) }
+
+// RunAll drains every pending event (only safe when no immortal
+// background processes — rebalancer, generators — are running).
+func (c *Cloud) RunAll() sim.Time { return c.env.Run(sim.Forever) }
+
+// Go spawns a process in the cloud's environment.
+func (c *Cloud) Go(name string, fn func(p *sim.Proc)) { c.env.Go(name, fn) }
+
+// StartProfile attaches a workload generator for the profile, creating
+// work until horizon. Call Run to advance time.
+func (c *Cloud) StartProfile(profile workload.Profile, horizon sim.Time) (*workload.Generator, error) {
+	gen, err := workload.NewGenerator(c.env, c.dir, profile, rng.Derive(c.cfg.Seed, "wl:"+profile.Name), horizon)
+	if err != nil {
+		return nil, err
+	}
+	gen.Start()
+	return gen, nil
+}
+
+// RunProfile runs the profile to its horizon and returns the generator's
+// statistics.
+func (c *Cloud) RunProfile(profile workload.Profile, horizon sim.Time) (workload.Stats, error) {
+	gen, err := c.StartProfile(profile, horizon)
+	if err != nil {
+		return workload.Stats{}, err
+	}
+	c.Run(horizon)
+	return gen.Stats(), nil
+}
+
+// StageUtilization is one control-plane stage's utilization snapshot.
+type StageUtilization struct {
+	Stage       string
+	Utilization float64 // mean fraction of capacity busy
+	MeanQueue   float64 // time-averaged waiters
+}
+
+// BottleneckReport ranks the control-plane stages by utilization —
+// director cells, manager threads, database, the busiest host agent, and
+// the busiest datastore engine — answering "what saturates first" for
+// the current run. Call after Run.
+func (c *Cloud) BottleneckReport() []StageUtilization {
+	var out []StageUtilization
+	rr := c.mgr.Resources()
+	out = append(out,
+		StageUtilization{Stage: "mgmt.threads", Utilization: rr.Threads.Utilization, MeanQueue: rr.Threads.MeanQueueLen},
+		StageUtilization{Stage: "mgmt.admission", Utilization: rr.Admission.Utilization, MeanQueue: rr.Admission.MeanQueueLen},
+	)
+	if wal, ok := c.mgr.WALStats(); ok {
+		out = append(out, StageUtilization{Stage: "mgmt.db(wal)", Utilization: wal.FlushStats.Utilization, MeanQueue: wal.FlushStats.MeanQueueLen})
+	} else {
+		out = append(out, StageUtilization{Stage: "mgmt.db", Utilization: rr.DB.Utilization, MeanQueue: rr.DB.MeanQueueLen})
+	}
+	for i, s := range c.dir.Stats().Cells {
+		out = append(out, StageUtilization{
+			Stage:       fmt.Sprintf("cell%d", i),
+			Utilization: s.Utilization,
+			MeanQueue:   s.MeanQueueLen,
+		})
+	}
+	var busyAgent StageUtilization
+	for _, a := range c.mgr.Agents().All() {
+		s := a.Stats().Util
+		if s.Utilization >= busyAgent.Utilization {
+			// Resource names already carry the "hostagent:" prefix.
+			busyAgent = StageUtilization{Stage: s.Name, Utilization: s.Utilization, MeanQueue: s.MeanQueueLen}
+		}
+	}
+	if busyAgent.Stage != "" {
+		out = append(out, busyAgent)
+	}
+	var busyDS StageUtilization
+	for _, id := range c.inv.Datastores() {
+		e := c.pool.Engine(id)
+		if e == nil {
+			continue
+		}
+		s := e.Stats()
+		if s.BusyFrac >= busyDS.Utilization {
+			busyDS = StageUtilization{Stage: "datastore:" + s.Name, Utilization: s.BusyFrac, MeanQueue: s.MeanActive}
+		}
+	}
+	if busyDS.Stage != "" {
+		out = append(out, busyDS)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Utilization > out[j].Utilization })
+	return out
+}

@@ -1,0 +1,364 @@
+package core
+
+// Extension experiments E13..E15 (not in the paper; see EXPERIMENTS.md):
+// database group-commit batching, host maintenance under load, and trace
+// replay what-if analysis.
+
+import (
+	"fmt"
+	"io"
+
+	"cloudmcp/internal/analysis"
+	"cloudmcp/internal/mgmt"
+	"cloudmcp/internal/mgmtdb"
+	"cloudmcp/internal/ops"
+	"cloudmcp/internal/report"
+	"cloudmcp/internal/rng"
+	"cloudmcp/internal/sim"
+	"cloudmcp/internal/workload"
+)
+
+// ---------------------------------------------------------------------
+// E13 — database group-commit batching ablation. With the WAL database
+// model and per-commit flushing, the management database becomes the
+// binding control-plane stage at cloud provisioning rates; widening the
+// group-commit window amortizes flushes and restores throughput.
+
+// E13Params configures the batching sweep.
+type E13Params struct {
+	Seed     int64
+	WindowsS []float64 // group-commit windows; default 0..0.2
+	Workers  int       // closed-loop clients, default 64
+	HorizonS float64   // default 30 min
+}
+
+// E13Point is one window's outcome.
+type E13Point struct {
+	WindowS       float64
+	LinkedPerHour float64
+	MeanLatS      float64
+	DB            mgmtdb.Stats
+}
+
+// E13Result holds the sweep.
+type E13Result struct{ Points []E13Point }
+
+// e13DB returns the deliberately slow database the ablation stresses:
+// few connections and expensive flushes, paper-era hardware.
+func e13DB(window float64) *mgmtdb.Config {
+	return &mgmtdb.Config{Conns: 4, WriteS: 0.01, FlushS: 0.25, GroupWindowS: window}
+}
+
+// RunE13 sweeps the group-commit window at fixed saturating concurrency.
+func RunE13(p E13Params) (*E13Result, error) {
+	if len(p.WindowsS) == 0 {
+		p.WindowsS = []float64{0, 0.01, 0.05, 0.2}
+	}
+	if p.Workers == 0 {
+		p.Workers = 64
+	}
+	if p.HorizonS == 0 {
+		p.HorizonS = 30 * 60
+	}
+	res := &E13Result{}
+	for _, w := range p.WindowsS {
+		perHour, meanLat, dbStats, err := e13Run(p.Seed, w, p.Workers, p.HorizonS)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, E13Point{WindowS: w, LinkedPerHour: perHour, MeanLatS: meanLat, DB: dbStats})
+	}
+	return res, nil
+}
+
+// e13Run is closedLoopDeploys with WAL-stats access.
+func e13Run(seed int64, window float64, workers int, horizon float64) (float64, float64, mgmtdb.Stats, error) {
+	cfg := DefaultConfig(seed)
+	cfg.Director.FastProvisioning = true
+	cfg.Director.RebalanceThreshold = 0
+	cfg.Director.MaxChainLen = 1 << 30
+	cfg.Mgmt.Database = e13DB(window)
+	c, err := New(cfg)
+	if err != nil {
+		return 0, 0, mgmtdb.Stats{}, err
+	}
+	inv := c.Inventory()
+	tpl := inv.Template(inv.Templates()[0])
+	for i := 0; i < workers; i++ {
+		org := fmt.Sprintf("org%d", i%8)
+		c.Go(fmt.Sprintf("worker%d", i), func(p *sim.Proc) {
+			for p.Now() < horizon {
+				res := c.Director().DeployVApp(p, org, tpl, 1, false)
+				if res.VApp != nil && inv.VApp(res.VApp.ID) != nil {
+					c.Director().DeleteVApp(p, res.VApp, org)
+				}
+				p.Sleep(0.2)
+			}
+		})
+	}
+	c.Run(horizon)
+	warmup := horizon / 10
+	recs := analysis.FilterTime(c.Records(), warmup, horizon)
+	deploys := analysis.FilterOK(analysis.FilterKind(recs, ops.KindDeploy.String()))
+	perHour := float64(len(deploys)) / (horizon - warmup) * Hour
+	lat := analysis.LatencySample(deploys, "")
+	st, _ := c.Manager().WALStats()
+	return perHour, lat.Mean(), st, nil
+}
+
+// Render writes the batching table.
+func (r *E13Result) Render(w io.Writer) error {
+	t := report.NewTable("E13: DB group-commit window vs provisioning throughput",
+		"window s", "deploys/h", "mean lat s", "commits", "flushes", "group size", "commit lat s")
+	for _, pt := range r.Points {
+		t.AddRow(pt.WindowS, pt.LinkedPerHour, pt.MeanLatS,
+			pt.DB.Commits, pt.DB.Flushes, pt.DB.MeanGroupSize, pt.DB.MeanCommitLat)
+	}
+	return t.Render(w)
+}
+
+// ---------------------------------------------------------------------
+// E14 — host evacuation (enter maintenance mode) under cloud load. The
+// evacuation is a train of live migrations that competes with the
+// self-service stream, so maintenance windows stretch exactly when the
+// cloud is busiest.
+
+// E14Params configures the maintenance experiment.
+type E14Params struct {
+	Seed         int64
+	HostVMs      int       // VMs resident on the host entering maintenance, default 12
+	RatesPerHour []float64 // background deploy load levels, default {0, 400, 1600}
+	HorizonS     float64   // default 30 min (maintenance starts at 1/3)
+}
+
+// E14Point is one load level's evacuation outcome.
+type E14Point struct {
+	RatePerHour float64
+	EvacuationS float64
+	Migrations  int
+	DeploysDone int
+}
+
+// E14Result holds the experiment.
+type E14Result struct{ Points []E14Point }
+
+// RunE14 measures evacuation time of a loaded host at each background
+// provisioning rate.
+func RunE14(p E14Params) (*E14Result, error) {
+	if p.HostVMs == 0 {
+		p.HostVMs = 12
+	}
+	if len(p.RatesPerHour) == 0 {
+		p.RatesPerHour = []float64{0, 2000, 6000}
+	}
+	if p.HorizonS == 0 {
+		p.HorizonS = 30 * 60
+	}
+	res := &E14Result{}
+	for _, rate := range p.RatesPerHour {
+		rate := rate
+		cfg := DefaultConfig(p.Seed)
+		cfg.Director.RebalanceThreshold = 0
+		// Paper-era manager so that load actually contends.
+		cfg.Mgmt.Threads = 4
+		cfg.Mgmt.DBConns = 2
+		c, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		inv := c.Inventory()
+		tpl := inv.Template(inv.Templates()[0])
+		target := inv.Host(inv.Hosts()[0])
+
+		// Pre-populate the target host.
+		c.Go("prep", func(pp *sim.Proc) {
+			for i := 0; i < p.HostVMs; i++ {
+				ds := inv.Datastore(inv.Datastores()[i%len(inv.Datastores())])
+				vm, task := c.Manager().DeployVM(pp, fmt.Sprintf("res%d", i), tpl, target, ds, ops.LinkedClone, mgmt.ReqCtx{Org: "resident"})
+				if task.Err != nil {
+					continue
+				}
+				c.Manager().PowerOn(pp, vm, mgmt.ReqCtx{Org: "resident"})
+			}
+		})
+		c.Run(p.HorizonS / 100)
+
+		if rate > 0 {
+			// Background open-loop load for the rest of the run.
+			cl, err := attachOpenLoop(c, p.Seed, rate, p.HorizonS, 600)
+			if err != nil {
+				return nil, err
+			}
+			_ = cl
+		}
+		var evac *mgmt.Task
+		c.Go("admin", func(ap *sim.Proc) {
+			ap.Sleep(p.HorizonS / 3)
+			evac = c.Manager().EnterMaintenance(ap, target, mgmt.ReqCtx{Org: "admin"})
+		})
+		c.Run(p.HorizonS * 4) // let the evacuation finish even under load
+		if evac == nil || evac.Err != nil {
+			return nil, fmt.Errorf("E14 rate %.0f: evacuation failed: %v", rate, taskErr(evac))
+		}
+		migs := 0
+		for _, r := range c.Records() {
+			if r.Kind == ops.KindMigrate.String() && r.Org == "admin" && r.Err == "" {
+				migs++
+			}
+		}
+		deploys := analysis.FilterOK(analysis.FilterKind(c.Records(), ops.KindDeploy.String()))
+		res.Points = append(res.Points, E14Point{
+			RatePerHour: rate,
+			EvacuationS: evac.Latency(),
+			Migrations:  migs,
+			DeploysDone: len(deploys),
+		})
+	}
+	return res, nil
+}
+
+func taskErr(t *mgmt.Task) error {
+	if t == nil {
+		return fmt.Errorf("no task")
+	}
+	return t.Err
+}
+
+// attachOpenLoop adds a Poisson single-VM deploy stream to an existing
+// cloud (same semantics as openLoopCloud, but composable).
+func attachOpenLoop(c *Cloud, seed int64, ratePerHour, horizon, lifetimeS float64) (*Cloud, error) {
+	inv := c.Inventory()
+	stream := rng.Derive(seed, "e14-load")
+	orgZipf := rng.NewZipf(stream, 8, 1.2)
+	c.Go("bg-arrivals", func(p *sim.Proc) {
+		n := 0
+		for {
+			p.Sleep(stream.Exponential(Hour / ratePerHour))
+			if p.Now() >= horizon {
+				return
+			}
+			n++
+			org := fmt.Sprintf("org%d", orgZipf.Draw())
+			tpl := inv.Template(inv.Templates()[stream.Intn(len(inv.Templates()))])
+			c.Go(fmt.Sprintf("bg%d", n), func(rp *sim.Proc) {
+				res := c.Director().DeployVApp(rp, org, tpl, 1, false)
+				if res.VApp == nil || inv.VApp(res.VApp.ID) == nil {
+					return
+				}
+				rp.Sleep(lifetimeS)
+				if inv.VApp(res.VApp.ID) != nil {
+					c.Director().DeleteVApp(rp, res.VApp, org)
+				}
+			})
+		}
+	})
+	return c, nil
+}
+
+// Render writes the evacuation table.
+func (r *E14Result) Render(w io.Writer) error {
+	t := report.NewTable("E14: host evacuation time vs background provisioning load",
+		"bg req/h", "evacuation s", "migrations", "bg deploys done")
+	for _, pt := range r.Points {
+		t.AddRow(pt.RatePerHour, pt.EvacuationS, pt.Migrations, pt.DeploysDone)
+	}
+	return t.Render(w)
+}
+
+// ---------------------------------------------------------------------
+// E15 — trace replay what-if: record a busy self-service day once, then
+// replay it against alternative control-plane configurations and compare
+// what users would have experienced.
+
+// E15Params configures the replay comparison.
+type E15Params struct {
+	Seed     int64
+	RecordS  float64 // recording horizon, default 2 h
+	Cells    []int   // configurations to replay against, default {1, 4}
+	HorizonS float64 // replay horizon, default RecordS * 1.5
+}
+
+// E15Point is one configuration's replayed experience.
+type E15Point struct {
+	Cells        int
+	Issued       int64
+	DeployMeanS  float64
+	DeployP95S   float64
+	DeployQueueS float64 // mean queue component
+}
+
+// E15Result holds the comparison.
+type E15Result struct {
+	Recorded int
+	Points   []E15Point
+}
+
+// RunE15 records a high-rate CloudA variant and replays it against each
+// cell count with deliberately small cells.
+func RunE15(p E15Params) (*E15Result, error) {
+	if p.RecordS == 0 {
+		p.RecordS = 2 * Hour
+	}
+	if len(p.Cells) == 0 {
+		p.Cells = []int{1, 4}
+	}
+	if p.HorizonS == 0 {
+		p.HorizonS = p.RecordS * 1.5
+	}
+
+	// Record once.
+	recCfg := DefaultConfig(p.Seed)
+	recCfg.Director.RebalanceThreshold = 0
+	rc, err := New(recCfg)
+	if err != nil {
+		return nil, err
+	}
+	pr := workload.CloudA()
+	pr.BaseRatePerHour = 2500 // a very busy day — enough to saturate one small cell
+	pr.DiurnalAmplitude = 0   // flat, so short recordings carry the full rate
+	pr.LifetimeMeanS = 900
+	if _, err := rc.RunProfile(pr, p.RecordS); err != nil {
+		return nil, err
+	}
+	recorded := rc.Records()
+	res := &E15Result{Recorded: len(recorded)}
+
+	for _, cells := range p.Cells {
+		cfg := DefaultConfig(p.Seed + 1)
+		cfg.Director.Cells = cells
+		cfg.Director.CellThreads = 2 // small cells so the tier matters
+		cfg.Director.RebalanceThreshold = 0
+		c, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rp, err := workload.NewReplayer(c.Env(), c.Director(), recorded)
+		if err != nil {
+			return nil, err
+		}
+		rp.Start()
+		c.Run(p.HorizonS)
+		deploys := analysis.FilterOK(analysis.FilterKind(c.Records(), ops.KindDeploy.String()))
+		lat := analysis.LatencySample(deploys, "")
+		bd, _ := analysis.MeanBreakdown(deploys, "")
+		res.Points = append(res.Points, E15Point{
+			Cells:        cells,
+			Issued:       rp.Stats().Issued,
+			DeployMeanS:  lat.Mean(),
+			DeployP95S:   lat.Percentile(95),
+			DeployQueueS: bd.Queue,
+		})
+	}
+	return res, nil
+}
+
+// Render writes the what-if table.
+func (r *E15Result) Render(w io.Writer) error {
+	t := report.NewTable(
+		fmt.Sprintf("E15: replaying a recorded day (%d ops) against alternative cell counts", r.Recorded),
+		"cells", "ops issued", "deploy mean s", "deploy p95 s", "mean queue s")
+	for _, pt := range r.Points {
+		t.AddRow(pt.Cells, pt.Issued, pt.DeployMeanS, pt.DeployP95S, pt.DeployQueueS)
+	}
+	return t.Render(w)
+}

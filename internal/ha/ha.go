@@ -1,0 +1,169 @@
+// Package ha models high-availability failover: when a host fails, every
+// VM it ran dies instantly (no management operations involved), and the
+// HA engine restarts the powered-on ones on surviving hosts — a burst of
+// re-registrations and power-ons that arrives at the management control
+// plane all at once. Failures are thus another source of induced
+// management workload, and restart-storm completion time depends on how
+// busy the control plane already is (experiment E16).
+package ha
+
+import (
+	"fmt"
+
+	"cloudmcp/internal/inventory"
+	"cloudmcp/internal/mgmt"
+	"cloudmcp/internal/sim"
+)
+
+// Config sizes the HA engine.
+type Config struct {
+	// MaxConcurrentRestarts throttles the restart storm, as real HA
+	// engines do to avoid overwhelming the surviving hosts.
+	MaxConcurrentRestarts int
+}
+
+// DefaultConfig allows 32 concurrent restarts.
+func DefaultConfig() Config { return Config{MaxConcurrentRestarts: 32} }
+
+// Failover records one host-failure recovery.
+type Failover struct {
+	Host      inventory.ID
+	Start     sim.Time
+	End       sim.Time
+	Affected  int // VMs that were on the host
+	Restarted int // successfully powered on elsewhere
+	Unplaced  int // no surviving host had room
+	Errors    int // restart operations that failed
+}
+
+// Duration returns the failover's wall time in virtual seconds.
+func (f *Failover) Duration() float64 { return f.End - f.Start }
+
+// Engine drives failovers against one manager.
+type Engine struct {
+	env *sim.Env
+	mgr *mgmt.Manager
+	cfg Config
+
+	slots     *sim.Resource
+	failovers []Failover
+}
+
+// New builds an HA engine.
+func New(env *sim.Env, mgr *mgmt.Manager, cfg Config) (*Engine, error) {
+	if cfg.MaxConcurrentRestarts <= 0 {
+		return nil, fmt.Errorf("ha: restart concurrency %d", cfg.MaxConcurrentRestarts)
+	}
+	return &Engine{
+		env: env, mgr: mgr, cfg: cfg,
+		slots: sim.NewResource(env, "ha.restarts", cfg.MaxConcurrentRestarts),
+	}, nil
+}
+
+// Failovers returns completed failover records.
+func (e *Engine) Failovers() []Failover {
+	return append([]Failover(nil), e.failovers...)
+}
+
+// FailHost crashes host: its VMs stop instantly, placement fences the
+// host, and the restart storm brings the previously powered-on VMs back
+// on surviving hosts. FailHost blocks p until the storm completes and
+// returns the failover record.
+func (e *Engine) FailHost(p *sim.Proc, host *inventory.Host) *Failover {
+	inv := e.mgr.Inventory()
+	fo := Failover{Host: host.ID, Start: p.Now()}
+	host.Failed = true
+
+	// The crash itself is instantaneous: powered-on VMs stop without any
+	// management operation (their CPU reservation vanishes with the host).
+	var toRestart []*inventory.VM
+	ids := make([]inventory.ID, len(host.VMs))
+	copy(ids, host.VMs)
+	for _, id := range ids {
+		vm := inv.VM(id)
+		if vm == nil {
+			continue
+		}
+		fo.Affected++
+		if vm.State == inventory.VMPoweredOn {
+			inv.PowerOff(vm)
+			toRestart = append(toRestart, vm)
+		}
+	}
+
+	// Restart storm: each protected VM re-registers on a surviving host
+	// (inventory move; disks are on shared storage) and powers on through
+	// the normal management path, throttled to MaxConcurrentRestarts.
+	remaining := len(toRestart)
+	done := sim.NewSignal(e.env)
+	for _, vm := range toRestart {
+		vm := vm
+		e.env.Go("ha-restart:"+vm.Name, func(rp *sim.Proc) {
+			defer func() {
+				remaining--
+				if remaining == 0 {
+					done.Fire()
+				}
+			}()
+			e.slots.Acquire(rp, 1)
+			defer e.slots.Release(1)
+			if inv.VM(vm.ID) == nil || vm.State == inventory.VMDeleted {
+				return // deleted while queued
+			}
+			target := e.pickTarget(vm)
+			if target == nil {
+				fo.Unplaced++
+				return
+			}
+			if err := inv.MoveVM(vm, target, nil); err != nil {
+				fo.Unplaced++
+				return
+			}
+			task := e.mgr.PowerOn(rp, vm, mgmt.ReqCtx{Org: "ha"})
+			if task.Err != nil {
+				fo.Errors++
+				return
+			}
+			fo.Restarted++
+		})
+	}
+	if remaining > 0 {
+		done.Wait(p)
+	}
+	fo.End = p.Now()
+	e.failovers = append(e.failovers, fo)
+	out := fo
+	return &out
+}
+
+// RecoverHost returns a failed host to service (empty, repaired).
+func (e *Engine) RecoverHost(host *inventory.Host) error {
+	if !host.Failed {
+		return fmt.Errorf("ha: host %s has not failed", host.Name)
+	}
+	if len(host.VMs) != 0 {
+		return fmt.Errorf("ha: host %s still has %d stranded VMs", host.Name, len(host.VMs))
+	}
+	host.Failed = false
+	return nil
+}
+
+// pickTarget chooses the surviving in-service host with the most free
+// memory that fits vm (and its CPU reservation once powered on).
+func (e *Engine) pickTarget(vm *inventory.VM) *inventory.Host {
+	inv := e.mgr.Inventory()
+	var best *inventory.Host
+	for _, id := range inv.Hosts() {
+		if id == vm.HostID {
+			continue
+		}
+		h := inv.Host(id)
+		if !h.InService() || h.FreeMemMB() < vm.MemMB || h.FreeCPUMHz() < vm.CPUs*500 {
+			continue
+		}
+		if best == nil || h.FreeMemMB() > best.FreeMemMB() {
+			best = h
+		}
+	}
+	return best
+}

@@ -1,0 +1,191 @@
+package ha
+
+import (
+	"testing"
+
+	"cloudmcp/internal/inventory"
+	"cloudmcp/internal/mgmt"
+	"cloudmcp/internal/ops"
+	"cloudmcp/internal/rng"
+	"cloudmcp/internal/sim"
+	"cloudmcp/internal/storage"
+)
+
+type fixture struct {
+	env   *sim.Env
+	inv   *inventory.Inventory
+	mgr   *mgmt.Manager
+	eng   *Engine
+	hosts []*inventory.Host
+	ds    *inventory.Datastore
+	tpl   *inventory.Template
+}
+
+func newFixture(t *testing.T, cfg Config) *fixture {
+	t.Helper()
+	env := sim.NewEnv()
+	inv := inventory.New()
+	dc := inv.AddDatacenter("dc")
+	cl := inv.AddCluster(dc, "cl")
+	var hosts []*inventory.Host
+	for i := 0; i < 4; i++ {
+		hosts = append(hosts, inv.AddHost(cl, "h", 40000, 131072))
+	}
+	ds := inv.AddDatastore(dc, "ds", 8000, 300)
+	tpl := inv.AddTemplate(ds, "tpl", 16, 2048, 2)
+	pool := storage.NewPool(env, inv)
+	model := ops.DefaultCostModel()
+	model.CV = 0
+	mgr, err := mgmt.New(env, inv, pool, model, rng.Derive(1, "m"), mgmt.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(env, mgr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{env: env, inv: inv, mgr: mgr, eng: eng, hosts: hosts, ds: ds, tpl: tpl}
+}
+
+// populate puts n powered-on VMs and m powered-off VMs on host.
+func (f *fixture) populate(t *testing.T, host *inventory.Host, on, off int) []*inventory.VM {
+	t.Helper()
+	var vms []*inventory.VM
+	f.env.Go("prep", func(p *sim.Proc) {
+		for i := 0; i < on+off; i++ {
+			vm, task := f.mgr.DeployVM(p, "vm", f.tpl, host, f.ds, ops.LinkedClone, mgmt.ReqCtx{Org: "o"})
+			if task.Err != nil {
+				t.Errorf("deploy: %v", task.Err)
+				return
+			}
+			if i < on {
+				f.mgr.PowerOn(p, vm, mgmt.ReqCtx{Org: "o"})
+			}
+			vms = append(vms, vm)
+		}
+	})
+	f.env.Run(sim.Forever)
+	return vms
+}
+
+func TestFailoverRestartsPoweredOnVMs(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	vms := f.populate(t, f.hosts[0], 3, 2)
+	var fo *Failover
+	f.env.Go("fail", func(p *sim.Proc) {
+		fo = f.eng.FailHost(p, f.hosts[0])
+	})
+	f.env.Run(sim.Forever)
+	if fo.Affected != 5 || fo.Restarted != 3 || fo.Unplaced != 0 || fo.Errors != 0 {
+		t.Fatalf("failover = %+v", fo)
+	}
+	if fo.Duration() <= 0 {
+		t.Fatal("instantaneous failover")
+	}
+	for i, vm := range vms {
+		if i < 3 {
+			if vm.State != inventory.VMPoweredOn {
+				t.Fatalf("vm %d state %v", i, vm.State)
+			}
+			if vm.HostID == f.hosts[0].ID {
+				t.Fatalf("vm %d still on failed host", i)
+			}
+		} else {
+			// Powered-off VMs stay registered to the failed host.
+			if vm.HostID != f.hosts[0].ID || vm.State != inventory.VMPoweredOff {
+				t.Fatalf("off vm %d moved unexpectedly", i)
+			}
+		}
+	}
+	if !f.hosts[0].Failed || f.hosts[0].InService() {
+		t.Fatal("host not fenced")
+	}
+	if err := f.inv.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestartThrottle(t *testing.T) {
+	cfg := Config{MaxConcurrentRestarts: 1}
+	f := newFixture(t, cfg)
+	f.populate(t, f.hosts[0], 4, 0)
+	var serial *Failover
+	f.env.Go("fail", func(p *sim.Proc) { serial = f.eng.FailHost(p, f.hosts[0]) })
+	f.env.Run(sim.Forever)
+
+	f2 := newFixture(t, Config{MaxConcurrentRestarts: 8})
+	f2.populate(t, f2.hosts[0], 4, 0)
+	var parallel *Failover
+	f2.env.Go("fail", func(p *sim.Proc) { parallel = f2.eng.FailHost(p, f2.hosts[0]) })
+	f2.env.Run(sim.Forever)
+
+	if serial.Duration() < 2*parallel.Duration() {
+		t.Fatalf("throttled failover %v not ≫ parallel %v", serial.Duration(), parallel.Duration())
+	}
+}
+
+func TestUnplacedWhenNoCapacity(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	// Fill every other host's memory.
+	for _, h := range f.hosts[1:] {
+		for h.FreeMemMB() >= f.tpl.MemMB {
+			if _, err := f.inv.AddVM("filler", h, f.ds, 1, f.tpl.MemMB, 0.1); err != nil {
+				break
+			}
+		}
+	}
+	f.populate(t, f.hosts[0], 2, 0)
+	var fo *Failover
+	f.env.Go("fail", func(p *sim.Proc) { fo = f.eng.FailHost(p, f.hosts[0]) })
+	f.env.Run(sim.Forever)
+	if fo.Unplaced != 2 || fo.Restarted != 0 {
+		t.Fatalf("failover = %+v", fo)
+	}
+}
+
+func TestRecoverHost(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	f.populate(t, f.hosts[0], 1, 1)
+	f.env.Go("fail", func(p *sim.Proc) { f.eng.FailHost(p, f.hosts[0]) })
+	f.env.Run(sim.Forever)
+	// Stranded powered-off VM blocks recovery.
+	if err := f.eng.RecoverHost(f.hosts[0]); err == nil {
+		t.Fatal("recovered with stranded VMs")
+	}
+	// Remove the stranded VM, then recovery succeeds.
+	for _, id := range append([]inventory.ID(nil), f.hosts[0].VMs...) {
+		if vm := f.inv.VM(id); vm != nil {
+			f.inv.RemoveVM(vm)
+		}
+	}
+	if err := f.eng.RecoverHost(f.hosts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if f.hosts[0].Failed {
+		t.Fatal("still fenced")
+	}
+	if err := f.eng.RecoverHost(f.hosts[0]); err == nil {
+		t.Fatal("double recover succeeded")
+	}
+}
+
+func TestFailoversRecorded(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	f.populate(t, f.hosts[0], 1, 0)
+	f.populate(t, f.hosts[1], 1, 0)
+	f.env.Go("fail", func(p *sim.Proc) {
+		f.eng.FailHost(p, f.hosts[0])
+		f.eng.FailHost(p, f.hosts[1])
+	})
+	f.env.Run(sim.Forever)
+	if got := len(f.eng.Failovers()); got != 2 {
+		t.Fatalf("failovers = %d", got)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	if _, err := New(f.env, f.mgr, Config{}); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,107 @@
+// Package hostsim models the per-host management agents. Every hypervisor
+// host runs an agent that executes the host-side portion of management
+// operations (create/register VM, power transitions, snapshot plumbing)
+// with a bounded number of concurrent operation slots — a real and often
+// binding control-plane limit when many deploys land on the same host.
+package hostsim
+
+import (
+	"fmt"
+
+	"cloudmcp/internal/inventory"
+	"cloudmcp/internal/sim"
+)
+
+// DefaultSlots is the default number of concurrent host operations an
+// agent admits, matching typical host-agent throttles.
+const DefaultSlots = 8
+
+// Agent is the management agent of one host.
+type Agent struct {
+	hostID inventory.ID
+	slots  *sim.Resource
+
+	ops      int64
+	busyTime float64
+	waitTime float64
+}
+
+// NewAgent creates an agent with the given concurrency (slots > 0).
+func NewAgent(env *sim.Env, hostID inventory.ID, name string, slots int) *Agent {
+	if slots <= 0 {
+		panic(fmt.Sprintf("hostsim: agent %q slots %d", name, slots))
+	}
+	return &Agent{hostID: hostID, slots: sim.NewResource(env, "hostagent:"+name, slots)}
+}
+
+// HostID returns the host this agent serves.
+func (a *Agent) HostID() inventory.ID { return a.hostID }
+
+// Exec runs seconds of host-side work under one operation slot, blocking p
+// for queueing plus service. It returns (waited, served) seconds.
+func (a *Agent) Exec(p *sim.Proc, seconds float64) (waited, served float64) {
+	if seconds < 0 {
+		panic(fmt.Sprintf("hostsim: negative exec %v", seconds))
+	}
+	t0 := p.Now()
+	a.slots.Acquire(p, 1)
+	waited = p.Now() - t0
+	p.Sleep(seconds)
+	a.slots.Release(1)
+	a.ops++
+	a.busyTime += seconds
+	a.waitTime += waited
+	return waited, seconds
+}
+
+// Stats summarizes the agent's activity.
+type Stats struct {
+	HostID   inventory.ID
+	Ops      int64
+	MeanWait float64
+	Busy     float64 // total service seconds
+	Util     sim.ResourceStats
+}
+
+// Stats returns accumulated statistics.
+func (a *Agent) Stats() Stats {
+	s := Stats{HostID: a.hostID, Ops: a.ops, Busy: a.busyTime, Util: a.slots.Stats()}
+	if a.ops > 0 {
+		s.MeanWait = a.waitTime / float64(a.ops)
+	}
+	return s
+}
+
+// Registry maps hosts to their agents.
+type Registry struct {
+	env    *sim.Env
+	slots  int
+	agents map[inventory.ID]*Agent
+}
+
+// NewRegistry creates agents (with the given slot count) for every host in
+// inv. Hosts added later get agents on first use via Ensure.
+func NewRegistry(env *sim.Env, inv *inventory.Inventory, slots int) *Registry {
+	r := &Registry{env: env, slots: slots, agents: make(map[inventory.ID]*Agent)}
+	for _, id := range inv.Hosts() {
+		h := inv.Host(id)
+		r.agents[id] = NewAgent(env, id, h.Name, slots)
+	}
+	return r
+}
+
+// Agent returns the agent for host id, or nil.
+func (r *Registry) Agent(id inventory.ID) *Agent { return r.agents[id] }
+
+// Ensure returns the agent for host id, creating one if needed.
+func (r *Registry) Ensure(id inventory.ID, name string) *Agent {
+	if a, ok := r.agents[id]; ok {
+		return a
+	}
+	a := NewAgent(r.env, id, name, r.slots)
+	r.agents[id] = a
+	return a
+}
+
+// All returns every agent, keyed by host ID.
+func (r *Registry) All() map[inventory.ID]*Agent { return r.agents }

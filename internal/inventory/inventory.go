@@ -1,0 +1,660 @@
+// Package inventory models the managed-object inventory of a virtualized
+// datacenter: datacenters, clusters, hosts, datastores, resource pools,
+// VMs, templates, and vApps, connected in the parent/child hierarchy that
+// management operations lock along.
+//
+// The inventory is pure data plus invariant checks; it knows nothing about
+// virtual time. The management plane (package mgmt) serializes access, so
+// none of these types need internal locking.
+package inventory
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ID uniquely identifies an entity within one Inventory. IDs are assigned
+// densely in creation order, which also serves as the canonical lock
+// ordering that prevents deadlock in the management plane.
+type ID int64
+
+// None is the zero ID, used for "no parent" and "no reference".
+const None ID = 0
+
+// Kind enumerates entity types.
+type Kind int
+
+// Entity kinds, from the root of the hierarchy down.
+const (
+	KindDatacenter Kind = iota + 1
+	KindCluster
+	KindHost
+	KindResourcePool
+	KindDatastore
+	KindNetwork
+	KindVM
+	KindTemplate
+	KindVApp
+)
+
+var kindNames = map[Kind]string{
+	KindDatacenter:   "datacenter",
+	KindCluster:      "cluster",
+	KindHost:         "host",
+	KindResourcePool: "resourcepool",
+	KindDatastore:    "datastore",
+	KindNetwork:      "network",
+	KindVM:           "vm",
+	KindTemplate:     "template",
+	KindVApp:         "vapp",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Entity is the common header embedded in every inventory object.
+type Entity struct {
+	ID     ID
+	Name   string
+	Kind   Kind
+	Parent ID // containing entity in the lock hierarchy (None for roots)
+}
+
+// VMState is the lifecycle state of a virtual machine.
+type VMState int
+
+// VM lifecycle states.
+const (
+	VMProvisioning VMState = iota + 1
+	VMPoweredOff
+	VMPoweredOn
+	VMSuspended
+	VMDeleted
+)
+
+var vmStateNames = map[VMState]string{
+	VMProvisioning: "provisioning",
+	VMPoweredOff:   "poweredOff",
+	VMPoweredOn:    "poweredOn",
+	VMSuspended:    "suspended",
+	VMDeleted:      "deleted",
+}
+
+func (s VMState) String() string {
+	if n, ok := vmStateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("vmstate(%d)", int(s))
+}
+
+// Datacenter is the root container.
+type Datacenter struct {
+	Entity
+	Clusters   []ID
+	Datastores []ID
+}
+
+// Cluster groups hosts for placement and admission.
+type Cluster struct {
+	Entity
+	Hosts []ID
+}
+
+// Host is a hypervisor host with simple capacity accounting.
+type Host struct {
+	Entity
+	CPUMHz     int // total CPU capacity
+	MemMB      int // total memory
+	UsedCPUMHz int
+	UsedMemMB  int
+	VMs        []ID
+	// Maintenance marks a host being evacuated/serviced: placement must
+	// skip it and it should end up empty.
+	Maintenance bool
+	// Failed marks a crashed host: its VMs are stranded until the HA
+	// engine restarts them elsewhere (package ha).
+	Failed bool
+}
+
+// InService reports whether the host can accept placements.
+func (h *Host) InService() bool { return !h.Maintenance && !h.Failed }
+
+// FreeCPUMHz returns remaining CPU capacity.
+func (h *Host) FreeCPUMHz() int { return h.CPUMHz - h.UsedCPUMHz }
+
+// FreeMemMB returns remaining memory capacity.
+func (h *Host) FreeMemMB() int { return h.MemMB - h.UsedMemMB }
+
+// Datastore is shared storage with capacity and copy-bandwidth attributes.
+// Bandwidth is consumed by the storage simulator (package storage).
+type Datastore struct {
+	Entity
+	CapacityGB    float64
+	UsedGB        float64
+	BandwidthMBps float64 // aggregate copy bandwidth
+	VMs           []ID
+}
+
+// FreeGB returns remaining datastore capacity.
+func (d *Datastore) FreeGB() float64 { return d.CapacityGB - d.UsedGB }
+
+// FillFraction returns UsedGB/CapacityGB.
+func (d *Datastore) FillFraction() float64 {
+	if d.CapacityGB == 0 {
+		return 0
+	}
+	return d.UsedGB / d.CapacityGB
+}
+
+// Template is a catalog image VMs are cloned from.
+type Template struct {
+	Entity
+	DiskGB      float64
+	MemMB       int
+	CPUs        int
+	DatastoreID ID // where the base disk lives
+}
+
+// VM is a virtual machine.
+type VM struct {
+	Entity
+	State       VMState
+	CPUs        int
+	MemMB       int
+	DiskGB      float64 // bytes attributable to this VM on its datastore
+	HostID      ID
+	DatastoreID ID
+	TemplateID  ID // template it was deployed from (None if constructed raw)
+	VAppID      ID
+
+	// Linked-clone bookkeeping. LinkedParent is the template (or VM) whose
+	// base disk this VM's delta chain hangs off; ChainLen is the number of
+	// redo links between this VM's active disk and the base.
+	LinkedParent ID
+	ChainLen     int
+	Snapshots    int
+
+	// SuspendGB is the size of the suspend (memory checkpoint) file
+	// currently charged to the VM's datastore, 0 when not suspended.
+	SuspendGB float64
+}
+
+// VApp is a group of VMs deployed and managed as a unit (the cloud
+// director's unit of self-service deployment).
+type VApp struct {
+	Entity
+	OrgName string
+	VMs     []ID
+}
+
+// Inventory is the registry of all entities in one simulated installation.
+type Inventory struct {
+	nextID      ID
+	entities    map[ID]any
+	datacenters []ID
+	clusters    []ID
+	hosts       []ID
+	datastores  []ID
+	vms         []ID
+	templates   []ID
+	vapps       []ID
+}
+
+// New returns an empty inventory.
+func New() *Inventory {
+	return &Inventory{nextID: 1, entities: make(map[ID]any)}
+}
+
+func (inv *Inventory) allocate() ID {
+	id := inv.nextID
+	inv.nextID++
+	return id
+}
+
+// AddDatacenter creates a root datacenter.
+func (inv *Inventory) AddDatacenter(name string) *Datacenter {
+	dc := &Datacenter{Entity: Entity{ID: inv.allocate(), Name: name, Kind: KindDatacenter}}
+	inv.entities[dc.ID] = dc
+	inv.datacenters = append(inv.datacenters, dc.ID)
+	return dc
+}
+
+// AddCluster creates a cluster inside dc.
+func (inv *Inventory) AddCluster(dc *Datacenter, name string) *Cluster {
+	c := &Cluster{Entity: Entity{ID: inv.allocate(), Name: name, Kind: KindCluster, Parent: dc.ID}}
+	inv.entities[c.ID] = c
+	inv.clusters = append(inv.clusters, c.ID)
+	dc.Clusters = append(dc.Clusters, c.ID)
+	return c
+}
+
+// AddHost creates a host inside cluster with the given capacity.
+func (inv *Inventory) AddHost(c *Cluster, name string, cpuMHz, memMB int) *Host {
+	if cpuMHz <= 0 || memMB <= 0 {
+		panic(fmt.Sprintf("inventory: host %q capacity %d MHz / %d MB", name, cpuMHz, memMB))
+	}
+	h := &Host{
+		Entity: Entity{ID: inv.allocate(), Name: name, Kind: KindHost, Parent: c.ID},
+		CPUMHz: cpuMHz, MemMB: memMB,
+	}
+	inv.entities[h.ID] = h
+	inv.hosts = append(inv.hosts, h.ID)
+	c.Hosts = append(c.Hosts, h.ID)
+	return h
+}
+
+// AddDatastore creates a datastore inside dc.
+func (inv *Inventory) AddDatastore(dc *Datacenter, name string, capacityGB, bandwidthMBps float64) *Datastore {
+	if capacityGB <= 0 || bandwidthMBps <= 0 {
+		panic(fmt.Sprintf("inventory: datastore %q capacity %v GB bw %v MB/s", name, capacityGB, bandwidthMBps))
+	}
+	d := &Datastore{
+		Entity:     Entity{ID: inv.allocate(), Name: name, Kind: KindDatastore, Parent: dc.ID},
+		CapacityGB: capacityGB, BandwidthMBps: bandwidthMBps,
+	}
+	inv.entities[d.ID] = d
+	inv.datastores = append(inv.datastores, d.ID)
+	dc.Datastores = append(dc.Datastores, d.ID)
+	return d
+}
+
+// AddTemplate creates a template whose base disk occupies space on ds.
+func (inv *Inventory) AddTemplate(ds *Datastore, name string, diskGB float64, memMB, cpus int) *Template {
+	if diskGB <= 0 {
+		panic(fmt.Sprintf("inventory: template %q disk %v GB", name, diskGB))
+	}
+	t := &Template{
+		Entity: Entity{ID: inv.allocate(), Name: name, Kind: KindTemplate, Parent: ds.ID},
+		DiskGB: diskGB, MemMB: memMB, CPUs: cpus, DatastoreID: ds.ID,
+	}
+	inv.entities[t.ID] = t
+	inv.templates = append(inv.templates, t.ID)
+	ds.UsedGB += diskGB
+	return t
+}
+
+// AddVApp creates an empty vApp owned by org, parented to dc.
+func (inv *Inventory) AddVApp(dc *Datacenter, name, org string) *VApp {
+	v := &VApp{
+		Entity:  Entity{ID: inv.allocate(), Name: name, Kind: KindVApp, Parent: dc.ID},
+		OrgName: org,
+	}
+	inv.entities[v.ID] = v
+	inv.vapps = append(inv.vapps, v.ID)
+	return v
+}
+
+// AddVM creates a VM placed on host and ds, charging capacity on both.
+// diskGB is the space the VM's own disks occupy (the delta disk size for a
+// linked clone). The VM starts in VMProvisioning.
+func (inv *Inventory) AddVM(name string, host *Host, ds *Datastore, cpus, memMB int, diskGB float64) (*VM, error) {
+	if cpus <= 0 || memMB <= 0 || diskGB < 0 {
+		panic(fmt.Sprintf("inventory: vm %q shape cpus=%d mem=%d disk=%v", name, cpus, memMB, diskGB))
+	}
+	if host.FreeMemMB() < memMB {
+		return nil, fmt.Errorf("inventory: host %s out of memory for %s (%d free, need %d)", host.Name, name, host.FreeMemMB(), memMB)
+	}
+	if ds.FreeGB() < diskGB {
+		return nil, fmt.Errorf("inventory: datastore %s out of space for %s (%.1f free, need %.1f)", ds.Name, name, ds.FreeGB(), diskGB)
+	}
+	vm := &VM{
+		Entity: Entity{ID: inv.allocate(), Name: name, Kind: KindVM, Parent: host.ID},
+		State:  VMProvisioning,
+		CPUs:   cpus, MemMB: memMB, DiskGB: diskGB,
+		HostID: host.ID, DatastoreID: ds.ID,
+	}
+	inv.entities[vm.ID] = vm
+	inv.vms = append(inv.vms, vm.ID)
+	host.VMs = append(host.VMs, vm.ID)
+	host.UsedMemMB += memMB
+	ds.VMs = append(ds.VMs, vm.ID)
+	ds.UsedGB += diskGB
+	return vm, nil
+}
+
+// RemoveVM deletes vm, releasing host and datastore capacity. It is an
+// error to remove a powered-on or already-deleted VM.
+func (inv *Inventory) RemoveVM(vm *VM) error {
+	if vm.State == VMPoweredOn {
+		return fmt.Errorf("inventory: cannot remove powered-on VM %s", vm.Name)
+	}
+	if vm.State == VMDeleted {
+		return fmt.Errorf("inventory: VM %s already deleted", vm.Name)
+	}
+	host := inv.Host(vm.HostID)
+	ds := inv.Datastore(vm.DatastoreID)
+	host.VMs = removeID(host.VMs, vm.ID)
+	host.UsedMemMB -= vm.MemMB
+	ds.VMs = removeID(ds.VMs, vm.ID)
+	ds.UsedGB -= vm.DiskGB
+	if vm.VAppID != None {
+		va := inv.VApp(vm.VAppID)
+		va.VMs = removeID(va.VMs, vm.ID)
+	}
+	vm.State = VMDeleted
+	delete(inv.entities, vm.ID)
+	inv.vms = removeID(inv.vms, vm.ID)
+	return nil
+}
+
+// RemoveVApp deletes an (empty) vApp container.
+func (inv *Inventory) RemoveVApp(va *VApp) error {
+	if len(va.VMs) != 0 {
+		return fmt.Errorf("inventory: vApp %s still has %d VMs", va.Name, len(va.VMs))
+	}
+	delete(inv.entities, va.ID)
+	inv.vapps = removeID(inv.vapps, va.ID)
+	return nil
+}
+
+// MoveVM relocates vm to a new host and/or datastore, transferring the
+// capacity charges. Pass nil to keep the current placement on that axis.
+func (inv *Inventory) MoveVM(vm *VM, newHost *Host, newDS *Datastore) error {
+	if vm.State == VMDeleted {
+		return fmt.Errorf("inventory: move of deleted VM %s", vm.Name)
+	}
+	if newHost != nil && newHost.ID != vm.HostID {
+		if newHost.FreeMemMB() < vm.MemMB {
+			return fmt.Errorf("inventory: host %s out of memory for %s", newHost.Name, vm.Name)
+		}
+		old := inv.Host(vm.HostID)
+		old.VMs = removeID(old.VMs, vm.ID)
+		old.UsedMemMB -= vm.MemMB
+		if vm.State == VMPoweredOn {
+			old.UsedCPUMHz -= vm.CPUs * cpuMHzPerVCPU
+			newHost.UsedCPUMHz += vm.CPUs * cpuMHzPerVCPU
+		}
+		newHost.VMs = append(newHost.VMs, vm.ID)
+		newHost.UsedMemMB += vm.MemMB
+		vm.HostID = newHost.ID
+		vm.Parent = newHost.ID
+	}
+	if newDS != nil && newDS.ID != vm.DatastoreID {
+		if newDS.FreeGB() < vm.DiskGB {
+			return fmt.Errorf("inventory: datastore %s out of space for %s", newDS.Name, vm.Name)
+		}
+		old := inv.Datastore(vm.DatastoreID)
+		old.VMs = removeID(old.VMs, vm.ID)
+		old.UsedGB -= vm.DiskGB
+		newDS.VMs = append(newDS.VMs, vm.ID)
+		newDS.UsedGB += vm.DiskGB
+		vm.DatastoreID = newDS.ID
+	}
+	return nil
+}
+
+// cpuMHzPerVCPU is the CPU reservation charged per vCPU while powered on.
+const cpuMHzPerVCPU = 500
+
+// PowerOn transitions vm to VMPoweredOn, charging CPU on its host.
+// Suspended VMs must Resume instead, so their checkpoint is reclaimed.
+func (inv *Inventory) PowerOn(vm *VM) error {
+	if vm.State != VMPoweredOff && vm.State != VMProvisioning {
+		return fmt.Errorf("inventory: power on %s in state %s", vm.Name, vm.State)
+	}
+	h := inv.Host(vm.HostID)
+	need := vm.CPUs * cpuMHzPerVCPU
+	if h.FreeCPUMHz() < need {
+		return fmt.Errorf("inventory: host %s out of CPU for %s", h.Name, vm.Name)
+	}
+	h.UsedCPUMHz += need
+	vm.State = VMPoweredOn
+	return nil
+}
+
+// PowerOff transitions vm to VMPoweredOff, releasing CPU. Powering off a
+// suspended VM discards its checkpoint, reclaiming the suspend file.
+func (inv *Inventory) PowerOff(vm *VM) error {
+	if vm.State != VMPoweredOn && vm.State != VMSuspended {
+		return fmt.Errorf("inventory: power off %s in state %s", vm.Name, vm.State)
+	}
+	if vm.State == VMPoweredOn {
+		inv.Host(vm.HostID).UsedCPUMHz -= vm.CPUs * cpuMHzPerVCPU
+	}
+	inv.reclaimSuspendFile(vm)
+	vm.State = VMPoweredOff
+	return nil
+}
+
+// Suspend checkpoints a powered-on VM: CPU is released and the memory
+// image (suspendGB) is charged against the VM's datastore.
+func (inv *Inventory) Suspend(vm *VM, suspendGB float64) error {
+	if vm.State != VMPoweredOn {
+		return fmt.Errorf("inventory: suspend %s in state %s", vm.Name, vm.State)
+	}
+	if suspendGB < 0 {
+		panic(fmt.Sprintf("inventory: suspend file %v GB", suspendGB))
+	}
+	ds := inv.Datastore(vm.DatastoreID)
+	if ds.FreeGB() < suspendGB {
+		return fmt.Errorf("inventory: datastore %s out of space for suspend of %s", ds.Name, vm.Name)
+	}
+	inv.Host(vm.HostID).UsedCPUMHz -= vm.CPUs * cpuMHzPerVCPU
+	vm.SuspendGB = suspendGB
+	vm.DiskGB += suspendGB
+	ds.UsedGB += suspendGB
+	vm.State = VMSuspended
+	return nil
+}
+
+// Resume restores a suspended VM to running, re-charging CPU and
+// reclaiming the suspend file.
+func (inv *Inventory) Resume(vm *VM) error {
+	if vm.State != VMSuspended {
+		return fmt.Errorf("inventory: resume %s in state %s", vm.Name, vm.State)
+	}
+	h := inv.Host(vm.HostID)
+	need := vm.CPUs * cpuMHzPerVCPU
+	if h.FreeCPUMHz() < need {
+		return fmt.Errorf("inventory: host %s out of CPU to resume %s", h.Name, vm.Name)
+	}
+	h.UsedCPUMHz += need
+	inv.reclaimSuspendFile(vm)
+	vm.State = VMPoweredOn
+	return nil
+}
+
+func (inv *Inventory) reclaimSuspendFile(vm *VM) {
+	if vm.SuspendGB <= 0 {
+		return
+	}
+	vm.DiskGB -= vm.SuspendGB
+	inv.Datastore(vm.DatastoreID).UsedGB -= vm.SuspendGB
+	vm.SuspendGB = 0
+}
+
+func removeID(ids []ID, id ID) []ID {
+	for i, v := range ids {
+		if v == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// Get returns the entity with the given ID, or nil.
+func (inv *Inventory) Get(id ID) any { return inv.entities[id] }
+
+// Header returns the Entity header of the object with the given ID, or nil.
+func (inv *Inventory) Header(id ID) *Entity {
+	switch e := inv.entities[id].(type) {
+	case *Datacenter:
+		return &e.Entity
+	case *Cluster:
+		return &e.Entity
+	case *Host:
+		return &e.Entity
+	case *Datastore:
+		return &e.Entity
+	case *Template:
+		return &e.Entity
+	case *VM:
+		return &e.Entity
+	case *VApp:
+		return &e.Entity
+	}
+	return nil
+}
+
+// Datacenter returns the datacenter with id, or nil if absent/wrong kind.
+func (inv *Inventory) Datacenter(id ID) *Datacenter { d, _ := inv.entities[id].(*Datacenter); return d }
+
+// Cluster returns the cluster with id, or nil.
+func (inv *Inventory) Cluster(id ID) *Cluster { c, _ := inv.entities[id].(*Cluster); return c }
+
+// Host returns the host with id, or nil.
+func (inv *Inventory) Host(id ID) *Host { h, _ := inv.entities[id].(*Host); return h }
+
+// Datastore returns the datastore with id, or nil.
+func (inv *Inventory) Datastore(id ID) *Datastore { d, _ := inv.entities[id].(*Datastore); return d }
+
+// Template returns the template with id, or nil.
+func (inv *Inventory) Template(id ID) *Template { t, _ := inv.entities[id].(*Template); return t }
+
+// VM returns the VM with id, or nil.
+func (inv *Inventory) VM(id ID) *VM { v, _ := inv.entities[id].(*VM); return v }
+
+// VApp returns the vApp with id, or nil.
+func (inv *Inventory) VApp(id ID) *VApp { v, _ := inv.entities[id].(*VApp); return v }
+
+// Datacenters returns all datacenter IDs in creation order.
+func (inv *Inventory) Datacenters() []ID { return inv.datacenters }
+
+// Clusters returns all cluster IDs in creation order.
+func (inv *Inventory) Clusters() []ID { return inv.clusters }
+
+// Hosts returns all host IDs in creation order.
+func (inv *Inventory) Hosts() []ID { return inv.hosts }
+
+// Datastores returns all datastore IDs in creation order.
+func (inv *Inventory) Datastores() []ID { return inv.datastores }
+
+// VMs returns all live VM IDs in creation order.
+func (inv *Inventory) VMs() []ID { return inv.vms }
+
+// Templates returns all template IDs in creation order.
+func (inv *Inventory) Templates() []ID { return inv.templates }
+
+// VApps returns all live vApp IDs in creation order.
+func (inv *Inventory) VApps() []ID { return inv.vapps }
+
+// Path returns the chain of entity IDs from the root down to and including
+// id — the set a management operation locks under hierarchical locking.
+func (inv *Inventory) Path(id ID) []ID {
+	var rev []ID
+	for cur := id; cur != None; {
+		h := inv.Header(cur)
+		if h == nil {
+			break
+		}
+		rev = append(rev, cur)
+		cur = h.Parent
+	}
+	out := make([]ID, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+// SortIDs sorts ids in place in canonical (creation) order and removes
+// duplicates, returning the possibly shortened slice. Lock acquisition in
+// this order is deadlock-free.
+func SortIDs(ids []ID) []ID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:0]
+	var prev ID = -1
+	for _, id := range ids {
+		if id != prev {
+			out = append(out, id)
+			prev = id
+		}
+	}
+	return out
+}
+
+// Counts summarizes inventory sizes, for reports and invariant checks.
+type Counts struct {
+	Datacenters, Clusters, Hosts, Datastores, Templates, VMs, VApps int
+}
+
+// Count returns the current entity counts.
+func (inv *Inventory) Count() Counts {
+	return Counts{
+		Datacenters: len(inv.datacenters),
+		Clusters:    len(inv.clusters),
+		Hosts:       len(inv.hosts),
+		Datastores:  len(inv.datastores),
+		Templates:   len(inv.templates),
+		VMs:         len(inv.vms),
+		VApps:       len(inv.vapps),
+	}
+}
+
+// CheckInvariants verifies capacity accounting and cross-references,
+// returning the first violation found. Tests and the simulator's debug
+// mode call it after mutation batches.
+func (inv *Inventory) CheckInvariants() error {
+	for _, hid := range inv.hosts {
+		h := inv.Host(hid)
+		mem, cpu := 0, 0
+		for _, vid := range h.VMs {
+			vm := inv.VM(vid)
+			if vm == nil {
+				return fmt.Errorf("host %s references missing VM %d", h.Name, vid)
+			}
+			if vm.HostID != hid {
+				return fmt.Errorf("VM %s host back-reference mismatch", vm.Name)
+			}
+			mem += vm.MemMB
+			if vm.State == VMPoweredOn {
+				cpu += vm.CPUs * cpuMHzPerVCPU
+			}
+		}
+		if mem != h.UsedMemMB {
+			return fmt.Errorf("host %s memory accounting: sum %d != used %d", h.Name, mem, h.UsedMemMB)
+		}
+		if cpu != h.UsedCPUMHz {
+			return fmt.Errorf("host %s cpu accounting: sum %d != used %d", h.Name, cpu, h.UsedCPUMHz)
+		}
+		if h.UsedMemMB > h.MemMB {
+			return fmt.Errorf("host %s memory overcommitted", h.Name)
+		}
+	}
+	for _, did := range inv.datastores {
+		d := inv.Datastore(did)
+		var used float64
+		for _, vid := range d.VMs {
+			vm := inv.VM(vid)
+			if vm == nil {
+				return fmt.Errorf("datastore %s references missing VM %d", d.Name, vid)
+			}
+			if vm.DatastoreID != did {
+				return fmt.Errorf("VM %s datastore back-reference mismatch", vm.Name)
+			}
+			used += vm.DiskGB
+		}
+		for _, tid := range inv.templates {
+			if t := inv.Template(tid); t.DatastoreID == did {
+				used += t.DiskGB
+			}
+		}
+		if diff := used - d.UsedGB; diff > 1e-6 || diff < -1e-6 {
+			return fmt.Errorf("datastore %s space accounting: sum %.3f != used %.3f", d.Name, used, d.UsedGB)
+		}
+		if d.UsedGB > d.CapacityGB+1e-6 {
+			return fmt.Errorf("datastore %s overcommitted", d.Name)
+		}
+	}
+	for _, vid := range inv.vms {
+		vm := inv.VM(vid)
+		if vm.State == VMDeleted {
+			return fmt.Errorf("deleted VM %s still registered", vm.Name)
+		}
+	}
+	return nil
+}

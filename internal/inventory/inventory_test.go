@@ -1,0 +1,399 @@
+package inventory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// build returns a small installation: 1 DC, 1 cluster, 2 hosts, 2
+// datastores, 1 template.
+func build(t *testing.T) (*Inventory, *Cluster, []*Host, []*Datastore, *Template) {
+	t.Helper()
+	inv := New()
+	dc := inv.AddDatacenter("dc0")
+	cl := inv.AddCluster(dc, "cl0")
+	h0 := inv.AddHost(cl, "h0", 20000, 65536)
+	h1 := inv.AddHost(cl, "h1", 20000, 65536)
+	d0 := inv.AddDatastore(dc, "ds0", 1000, 200)
+	d1 := inv.AddDatastore(dc, "ds1", 1000, 200)
+	tpl := inv.AddTemplate(d0, "tpl0", 20, 2048, 2)
+	return inv, cl, []*Host{h0, h1}, []*Datastore{d0, d1}, tpl
+}
+
+func TestBuildAndCounts(t *testing.T) {
+	inv, _, _, _, _ := build(t)
+	c := inv.Count()
+	if c.Datacenters != 1 || c.Clusters != 1 || c.Hosts != 2 || c.Datastores != 2 || c.Templates != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if err := inv.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTemplateChargesDatastore(t *testing.T) {
+	inv, _, _, ds, _ := build(t)
+	if ds[0].UsedGB != 20 {
+		t.Fatalf("ds0 used = %v, want 20 (template base disk)", ds[0].UsedGB)
+	}
+	_ = inv
+}
+
+func TestAddVMAccounting(t *testing.T) {
+	inv, _, hosts, ds, _ := build(t)
+	vm, err := inv.AddVM("vm0", hosts[0], ds[0], 2, 4096, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.State != VMProvisioning {
+		t.Fatalf("state = %v", vm.State)
+	}
+	if hosts[0].UsedMemMB != 4096 {
+		t.Fatalf("host mem = %d", hosts[0].UsedMemMB)
+	}
+	if ds[0].UsedGB != 60 { // 20 template + 40 VM
+		t.Fatalf("ds used = %v", ds[0].UsedGB)
+	}
+	if err := inv.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddVMRejectsOverMemory(t *testing.T) {
+	inv, _, hosts, ds, _ := build(t)
+	if _, err := inv.AddVM("big", hosts[0], ds[0], 2, 100000, 1); err == nil {
+		t.Fatal("expected out-of-memory error")
+	}
+	if err := inv.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddVMRejectsOverDisk(t *testing.T) {
+	inv, _, hosts, ds, _ := build(t)
+	if _, err := inv.AddVM("big", hosts[0], ds[0], 2, 1024, 2000); err == nil {
+		t.Fatal("expected out-of-space error")
+	}
+}
+
+func TestPowerCycle(t *testing.T) {
+	inv, _, hosts, ds, _ := build(t)
+	vm, _ := inv.AddVM("vm0", hosts[0], ds[0], 4, 4096, 10)
+	if err := inv.PowerOn(vm); err != nil {
+		t.Fatal(err)
+	}
+	if vm.State != VMPoweredOn {
+		t.Fatalf("state = %v", vm.State)
+	}
+	if hosts[0].UsedCPUMHz != 4*cpuMHzPerVCPU {
+		t.Fatalf("cpu = %d", hosts[0].UsedCPUMHz)
+	}
+	if err := inv.PowerOn(vm); err == nil {
+		t.Fatal("double power-on allowed")
+	}
+	if err := inv.PowerOff(vm); err != nil {
+		t.Fatal(err)
+	}
+	if hosts[0].UsedCPUMHz != 0 {
+		t.Fatalf("cpu after off = %d", hosts[0].UsedCPUMHz)
+	}
+	if err := inv.PowerOff(vm); err == nil {
+		t.Fatal("double power-off allowed")
+	}
+	if err := inv.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerOnRejectsCPUExhaustion(t *testing.T) {
+	inv, _, hosts, ds, _ := build(t)
+	// Host has 20000 MHz = 40 vCPU-charges; exhaust with powered-on VMs.
+	for i := 0; i < 10; i++ {
+		vm, err := inv.AddVM("vm", hosts[0], ds[0], 4, 1024, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inv.PowerOn(vm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vm, _ := inv.AddVM("extra", hosts[0], ds[0], 4, 1024, 1)
+	if err := inv.PowerOn(vm); err == nil {
+		t.Fatal("expected CPU exhaustion")
+	}
+}
+
+func TestRemoveVM(t *testing.T) {
+	inv, _, hosts, ds, _ := build(t)
+	vm, _ := inv.AddVM("vm0", hosts[0], ds[0], 2, 4096, 40)
+	if err := inv.RemoveVM(vm); err != nil {
+		t.Fatal(err)
+	}
+	if hosts[0].UsedMemMB != 0 || ds[0].UsedGB != 20 {
+		t.Fatalf("capacity not released: mem=%d disk=%v", hosts[0].UsedMemMB, ds[0].UsedGB)
+	}
+	if inv.VM(vm.ID) != nil {
+		t.Fatal("VM still resolvable")
+	}
+	if err := inv.RemoveVM(vm); err == nil {
+		t.Fatal("double remove allowed")
+	}
+	if err := inv.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveVMRejectsPoweredOn(t *testing.T) {
+	inv, _, hosts, ds, _ := build(t)
+	vm, _ := inv.AddVM("vm0", hosts[0], ds[0], 2, 4096, 40)
+	inv.PowerOn(vm)
+	if err := inv.RemoveVM(vm); err == nil {
+		t.Fatal("removed a powered-on VM")
+	}
+}
+
+func TestMoveVMHostAndDatastore(t *testing.T) {
+	inv, _, hosts, ds, _ := build(t)
+	vm, _ := inv.AddVM("vm0", hosts[0], ds[0], 2, 4096, 40)
+	inv.PowerOn(vm)
+	if err := inv.MoveVM(vm, hosts[1], ds[1]); err != nil {
+		t.Fatal(err)
+	}
+	if vm.HostID != hosts[1].ID || vm.DatastoreID != ds[1].ID {
+		t.Fatal("placement not updated")
+	}
+	if hosts[0].UsedMemMB != 0 || hosts[0].UsedCPUMHz != 0 {
+		t.Fatal("source host not released")
+	}
+	if hosts[1].UsedMemMB != 4096 || hosts[1].UsedCPUMHz != 2*cpuMHzPerVCPU {
+		t.Fatal("target host not charged")
+	}
+	if ds[0].UsedGB != 20 || ds[1].UsedGB != 40 {
+		t.Fatalf("datastore charges: %v %v", ds[0].UsedGB, ds[1].UsedGB)
+	}
+	if err := inv.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoveVMNilAxes(t *testing.T) {
+	inv, _, hosts, ds, _ := build(t)
+	vm, _ := inv.AddVM("vm0", hosts[0], ds[0], 2, 4096, 40)
+	if err := inv.MoveVM(vm, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if vm.HostID != hosts[0].ID || vm.DatastoreID != ds[0].ID {
+		t.Fatal("no-op move changed placement")
+	}
+}
+
+func TestVAppMembership(t *testing.T) {
+	inv, _, hosts, ds, _ := build(t)
+	dc := inv.Datacenter(inv.Datacenters()[0])
+	va := inv.AddVApp(dc, "app0", "orgA")
+	vm, _ := inv.AddVM("vm0", hosts[0], ds[0], 2, 1024, 5)
+	vm.VAppID = va.ID
+	va.VMs = append(va.VMs, vm.ID)
+	if err := inv.RemoveVApp(va); err == nil {
+		t.Fatal("removed non-empty vApp")
+	}
+	if err := inv.RemoveVM(vm); err != nil {
+		t.Fatal(err)
+	}
+	if len(va.VMs) != 0 {
+		t.Fatal("vApp membership not cleaned up")
+	}
+	if err := inv.RemoveVApp(va); err != nil {
+		t.Fatal(err)
+	}
+	if inv.VApp(va.ID) != nil {
+		t.Fatal("vApp still resolvable")
+	}
+}
+
+func TestPath(t *testing.T) {
+	inv, cl, hosts, ds, _ := build(t)
+	vm, _ := inv.AddVM("vm0", hosts[0], ds[0], 2, 1024, 5)
+	path := inv.Path(vm.ID)
+	dcID := inv.Datacenters()[0]
+	want := []ID{dcID, cl.ID, hosts[0].ID, vm.ID}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestPathUnknownID(t *testing.T) {
+	inv := New()
+	if p := inv.Path(99); len(p) != 0 {
+		t.Fatalf("path of unknown id = %v", p)
+	}
+}
+
+func TestSortIDs(t *testing.T) {
+	ids := []ID{5, 3, 5, 1, 3}
+	got := SortIDs(ids)
+	want := []ID{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSortIDsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		ids := make([]ID, len(raw))
+		for i, r := range raw {
+			ids[i] = ID(r % 16)
+		}
+		out := SortIDs(ids)
+		seen := map[ID]bool{}
+		var prev ID = -1
+		for _, id := range out {
+			if id <= prev || seen[id] {
+				return false
+			}
+			seen[id] = true
+			prev = id
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindAndStateStrings(t *testing.T) {
+	if KindVM.String() != "vm" || KindDatastore.String() != "datastore" {
+		t.Fatal("kind names wrong")
+	}
+	if VMPoweredOn.String() != "poweredOn" {
+		t.Fatal("state names wrong")
+	}
+	if Kind(99).String() == "" || VMState(99).String() == "" {
+		t.Fatal("unknown enums must still stringify")
+	}
+}
+
+// Property: any sequence of add/power/remove operations that the API
+// accepts leaves the inventory invariant-clean.
+func TestPropertyInvariantsUnderRandomOps(t *testing.T) {
+	f := func(script []uint8) bool {
+		inv := New()
+		dc := inv.AddDatacenter("dc")
+		cl := inv.AddCluster(dc, "cl")
+		h := inv.AddHost(cl, "h", 40000, 32768)
+		d := inv.AddDatastore(dc, "d", 500, 100)
+		var vms []*VM
+		for _, b := range script {
+			switch b % 4 {
+			case 0:
+				if vm, err := inv.AddVM("vm", h, d, 1+int(b%4), 1024, float64(1+b%8)); err == nil {
+					vms = append(vms, vm)
+				}
+			case 1:
+				if len(vms) > 0 {
+					inv.PowerOn(vms[int(b)%len(vms)])
+				}
+			case 2:
+				if len(vms) > 0 {
+					inv.PowerOff(vms[int(b)%len(vms)])
+				}
+			case 3:
+				if len(vms) > 0 {
+					i := int(b) % len(vms)
+					if err := inv.RemoveVM(vms[i]); err == nil {
+						vms = append(vms[:i], vms[i+1:]...)
+					}
+				}
+			}
+			if inv.CheckInvariants() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuspendResumeLifecycle(t *testing.T) {
+	inv, _, hosts, ds, _ := build(t)
+	vm, _ := inv.AddVM("vm0", hosts[0], ds[0], 4, 4096, 10)
+	if err := inv.Suspend(vm, 4); err == nil {
+		t.Fatal("suspend of non-running VM succeeded")
+	}
+	inv.PowerOn(vm)
+	cpuBefore := hosts[0].UsedCPUMHz
+	diskBefore := ds[0].UsedGB
+	if err := inv.Suspend(vm, 4); err != nil {
+		t.Fatal(err)
+	}
+	if vm.State != VMSuspended || vm.SuspendGB != 4 {
+		t.Fatalf("state=%v suspendGB=%v", vm.State, vm.SuspendGB)
+	}
+	if hosts[0].UsedCPUMHz != cpuBefore-4*cpuMHzPerVCPU {
+		t.Fatal("CPU not released")
+	}
+	if ds[0].UsedGB != diskBefore+4 {
+		t.Fatal("suspend file not charged")
+	}
+	if err := inv.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// PowerOn of a suspended VM is rejected (must Resume).
+	if err := inv.PowerOn(vm); err == nil {
+		t.Fatal("powerOn of suspended VM succeeded")
+	}
+	if err := inv.Resume(vm); err != nil {
+		t.Fatal(err)
+	}
+	if vm.State != VMPoweredOn || vm.SuspendGB != 0 {
+		t.Fatalf("after resume state=%v suspendGB=%v", vm.State, vm.SuspendGB)
+	}
+	if ds[0].UsedGB != diskBefore {
+		t.Fatal("suspend file not reclaimed")
+	}
+	if err := inv.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerOffSuspendedDiscardsCheckpoint(t *testing.T) {
+	inv, _, hosts, ds, _ := build(t)
+	vm, _ := inv.AddVM("vm0", hosts[0], ds[0], 2, 2048, 10)
+	inv.PowerOn(vm)
+	diskBefore := ds[0].UsedGB
+	inv.Suspend(vm, 2)
+	if err := inv.PowerOff(vm); err != nil {
+		t.Fatal(err)
+	}
+	if vm.State != VMPoweredOff || vm.SuspendGB != 0 || ds[0].UsedGB != diskBefore {
+		t.Fatalf("checkpoint not discarded: %v %v %v", vm.State, vm.SuspendGB, ds[0].UsedGB)
+	}
+	if err := inv.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuspendRejectsFullDatastore(t *testing.T) {
+	inv, _, hosts, ds, _ := build(t)
+	vm, _ := inv.AddVM("vm0", hosts[0], ds[0], 2, 2048, 10)
+	inv.PowerOn(vm)
+	inv.AddTemplate(ds[0], "filler", ds[0].FreeGB()-0.5, 1024, 1)
+	if err := inv.Suspend(vm, 2); err == nil {
+		t.Fatal("suspend succeeded on full datastore")
+	}
+	if vm.State != VMPoweredOn {
+		t.Fatal("state changed despite failure")
+	}
+}

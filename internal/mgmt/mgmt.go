@@ -1,0 +1,469 @@
+// Package mgmt simulates the virtualization manager — the vCenter-style
+// server every management operation funnels through. It models the four
+// serialization points that make the management control plane a workload
+// of its own:
+//
+//   - global task admission (a bounded number of in-flight operations),
+//   - a finite worker-thread pool for manager-side processing,
+//   - the management database (bounded connections, per-write cost), and
+//   - hierarchical inventory locks (configurable granularity).
+//
+// Execute runs one operation through all of them, charging stage service
+// times drawn from the ops cost model, dispatching host-side work to the
+// per-host agents, and timing the caller-supplied data-plane body. The
+// resulting per-task Breakdown is what the characterization pipeline and
+// the paper-style figures consume.
+package mgmt
+
+import (
+	"fmt"
+
+	"cloudmcp/internal/bw"
+	"cloudmcp/internal/hostsim"
+	"cloudmcp/internal/inventory"
+	"cloudmcp/internal/mgmtdb"
+	"cloudmcp/internal/netsim"
+	"cloudmcp/internal/ops"
+	"cloudmcp/internal/rng"
+	"cloudmcp/internal/sim"
+	"cloudmcp/internal/stats"
+	"cloudmcp/internal/storage"
+)
+
+// LockGranularity selects how much of the inventory an operation locks.
+type LockGranularity int
+
+// Lock granularities, coarse to fine.
+const (
+	// GranularityCoarse takes one global inventory lock per operation —
+	// full serialization, the most conservative historical design.
+	GranularityCoarse LockGranularity = iota
+	// GranularityHost maps every lock target to its host (or datastore)
+	// subtree, serializing operations per host.
+	GranularityHost
+	// GranularityEntity locks exactly the target entities.
+	GranularityEntity
+)
+
+func (g LockGranularity) String() string {
+	switch g {
+	case GranularityCoarse:
+		return "coarse"
+	case GranularityHost:
+		return "host"
+	case GranularityEntity:
+		return "entity"
+	}
+	return fmt.Sprintf("granularity(%d)", int(g))
+}
+
+// Config holds the manager's sizing knobs.
+type Config struct {
+	Threads     int             // manager worker threads
+	DBConns     int             // concurrent database connections
+	MaxInFlight int             // global in-flight task cap
+	HostSlots   int             // per-host agent operation slots
+	Granularity LockGranularity // inventory lock granularity
+
+	// Database selects the detailed WAL database model (package mgmtdb)
+	// instead of the default aggregate-service-time model. When set,
+	// DBConns is ignored in favour of Database.Conns, and each
+	// operation's DB stage becomes real commits with group-commit
+	// semantics — the substrate the E13 batching ablation sweeps.
+	Database *mgmtdb.Config
+
+	// Network selects the shared migration-network model (package
+	// netsim): live-migration memory copies then contend on one
+	// fair-share link (counted as data-plane time) instead of being
+	// charged as isolated host-agent work.
+	Network *netsim.Config
+}
+
+// DefaultConfig mirrors a mid-size production management server.
+func DefaultConfig() Config {
+	return Config{
+		Threads:     16,
+		DBConns:     4,
+		MaxInFlight: 96,
+		HostSlots:   hostsim.DefaultSlots,
+		Granularity: GranularityEntity,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Threads <= 0 || c.DBConns <= 0 || c.MaxInFlight <= 0 || c.HostSlots <= 0 {
+		return fmt.Errorf("mgmt: non-positive config %+v", c)
+	}
+	return nil
+}
+
+// Task is the record of one executed management operation.
+type Task struct {
+	ID        int64
+	Req       ops.Request
+	HostID    inventory.ID
+	Start     sim.Time
+	End       sim.Time
+	Breakdown ops.Breakdown
+	Err       error
+}
+
+// Latency returns the task's end-to-end seconds.
+func (t *Task) Latency() float64 { return t.End - t.Start }
+
+// Manager is the simulated virtualization manager.
+type Manager struct {
+	env    *sim.Env
+	inv    *inventory.Inventory
+	pool   *storage.Pool
+	agents *hostsim.Registry
+	model  *ops.CostModel
+	stream *rng.Stream
+	cfg    Config
+
+	admission *sim.Resource
+	threads   *sim.Resource
+	db        *sim.Resource
+	waldb     *mgmtdb.DB      // non-nil when cfg.Database is set
+	network   *netsim.Network // non-nil when cfg.Network is set
+	locks     map[inventory.ID]*sim.Resource
+	global    *sim.Resource
+
+	nextTaskID int64
+	sinks      []func(*Task)
+
+	perKind map[ops.Kind]*kindStats
+	errs    int64
+}
+
+type kindStats struct {
+	latency stats.Sample
+	sum     ops.Breakdown
+	count   int64
+}
+
+// New builds a manager over the given inventory, storage pool, and cost
+// model. The stream seeds all stage-time draws.
+func New(env *sim.Env, inv *inventory.Inventory, pool *storage.Pool, model *ops.CostModel, stream *rng.Stream, cfg Config) (*Manager, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		env:       env,
+		inv:       inv,
+		pool:      pool,
+		agents:    hostsim.NewRegistry(env, inv, cfg.HostSlots),
+		model:     model,
+		stream:    stream,
+		cfg:       cfg,
+		admission: sim.NewResource(env, "mgmt.admission", cfg.MaxInFlight),
+		threads:   sim.NewResource(env, "mgmt.threads", cfg.Threads),
+		db:        sim.NewResource(env, "mgmt.db", cfg.DBConns),
+		locks:     make(map[inventory.ID]*sim.Resource),
+		global:    sim.NewResource(env, "mgmt.globallock", 1),
+		perKind:   make(map[ops.Kind]*kindStats),
+	}
+	if cfg.Database != nil {
+		waldb, err := mgmtdb.New(env, *cfg.Database)
+		if err != nil {
+			return nil, err
+		}
+		m.waldb = waldb
+	}
+	if cfg.Network != nil {
+		network, err := netsim.New(env, *cfg.Network)
+		if err != nil {
+			return nil, err
+		}
+		m.network = network
+	}
+	return m, nil
+}
+
+// NetworkStats returns migration-network statistics, or (zero, false)
+// when no network model is configured.
+func (m *Manager) NetworkStats() (bw.EngineStats, bool) {
+	if m.network == nil {
+		return bw.EngineStats{}, false
+	}
+	return m.network.Stats(), true
+}
+
+// WALStats returns the detailed database statistics, or (zero, false)
+// when the manager runs the aggregate DB model.
+func (m *Manager) WALStats() (mgmtdb.Stats, bool) {
+	if m.waldb == nil {
+		return mgmtdb.Stats{}, false
+	}
+	return m.waldb.Stats(), true
+}
+
+// Env returns the simulation environment.
+func (m *Manager) Env() *sim.Env { return m.env }
+
+// Inventory returns the managed inventory.
+func (m *Manager) Inventory() *inventory.Inventory { return m.inv }
+
+// Storage returns the datastore pool.
+func (m *Manager) Storage() *storage.Pool { return m.pool }
+
+// Agents returns the host-agent registry.
+func (m *Manager) Agents() *hostsim.Registry { return m.agents }
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// AddTaskSink registers fn to be called with every completed task (used by
+// the trace writer and online analyses).
+func (m *Manager) AddTaskSink(fn func(*Task)) { m.sinks = append(m.sinks, fn) }
+
+// lockIDsFor maps requested lock targets to actual lock IDs under the
+// configured granularity, deduplicated and in canonical order.
+//
+// Under GranularityEntity only VM targets are locked: VMs are the mutable
+// leaves, while host/datastore/template targets exist in the set as
+// subtree hints so that GranularityHost can serialize whole subtrees.
+// (Capacity mutations themselves are atomic inside operation bodies; the
+// locks model serialization cost, which is what the granularity ablation
+// measures.)
+func (m *Manager) lockIDsFor(targets []inventory.ID) []inventory.ID {
+	switch m.cfg.Granularity {
+	case GranularityCoarse:
+		return nil // signalled by useGlobal
+	case GranularityHost:
+		mapped := make([]inventory.ID, 0, len(targets))
+		for _, id := range targets {
+			switch e := m.inv.Get(id).(type) {
+			case *inventory.VM:
+				mapped = append(mapped, e.HostID)
+			case *inventory.Template:
+				mapped = append(mapped, e.DatastoreID)
+			default:
+				mapped = append(mapped, id)
+			}
+		}
+		return inventory.SortIDs(mapped)
+	default:
+		vms := make([]inventory.ID, 0, len(targets))
+		for _, id := range targets {
+			if _, ok := m.inv.Get(id).(*inventory.VM); ok {
+				vms = append(vms, id)
+			}
+		}
+		return inventory.SortIDs(vms)
+	}
+}
+
+func (m *Manager) lockFor(id inventory.ID) *sim.Resource {
+	if r, ok := m.locks[id]; ok {
+		return r
+	}
+	r := sim.NewResource(m.env, fmt.Sprintf("lock:%d", id), 1)
+	m.locks[id] = r
+	return r
+}
+
+// acquireLocks takes all locks in canonical order, returning seconds spent
+// waiting and the release function.
+func (m *Manager) acquireLocks(p *sim.Proc, targets []inventory.ID) (float64, func()) {
+	t0 := p.Now()
+	if m.cfg.Granularity == GranularityCoarse {
+		m.global.Acquire(p, 1)
+		return p.Now() - t0, func() { m.global.Release(1) }
+	}
+	ids := m.lockIDsFor(targets)
+	held := make([]*sim.Resource, 0, len(ids))
+	for _, id := range ids {
+		l := m.lockFor(id)
+		l.Acquire(p, 1)
+		held = append(held, l)
+	}
+	return p.Now() - t0, func() {
+		for i := len(held) - 1; i >= 0; i-- {
+			held[i].Release(1)
+		}
+	}
+}
+
+// ExecSpec describes one operation for Execute.
+type ExecSpec struct {
+	Req         ops.Request
+	LockTargets []inventory.ID
+	HostID      inventory.ID            // host-agent stage target (None to skip)
+	ExtraHostS  float64                 // added to the sampled host time (e.g. migrate memory copy)
+	Pre         ops.Breakdown           // time already spent upstream (cell stage)
+	Body        func(p *sim.Proc) error // data-plane work + inventory mutation (may be nil)
+}
+
+// Execute runs one operation through admission, locks, manager threads,
+// the database, the host agent, and the data-plane body, and returns the
+// completed task. The task's Start is the request's Submit time when
+// stamped (so upstream cell queueing counts toward latency); spec.Pre
+// seeds the breakdown with that upstream time.
+func (m *Manager) Execute(p *sim.Proc, spec ExecSpec) *Task {
+	start := p.Now()
+	if spec.Req.Submit > 0 && sim.Time(spec.Req.Submit) <= start {
+		start = sim.Time(spec.Req.Submit)
+	}
+	task := &Task{ID: m.nextTaskID, Req: spec.Req, HostID: spec.HostID, Start: start, Breakdown: spec.Pre}
+	m.nextTaskID++
+	sample := m.model.Sample(m.stream, spec.Req.Kind)
+
+	// 1. Global admission.
+	t0 := p.Now()
+	m.admission.Acquire(p, 1)
+	task.Breakdown.Queue += p.Now() - t0
+	defer m.admission.Release(1)
+
+	// 2. Inventory locks.
+	wait, release := m.acquireLocks(p, spec.LockTargets)
+	task.Breakdown.Queue += wait
+	defer release()
+
+	// 3. Manager pre-processing (validation, task creation, inventory
+	// reads) — 60% of the manager's share, before dispatch.
+	writes := m.model.Stage[spec.Req.Kind].DBWrites
+	preWrites := (writes*6 + 9) / 10
+	m.mgmtStage(p, task, sample.Mgmt*0.6)
+	m.dbStage(p, task, sample.DB*0.6, preWrites)
+
+	// 4. Host-agent execution.
+	if spec.HostID != inventory.None {
+		h := m.inv.Host(spec.HostID)
+		name := fmt.Sprintf("host:%d", spec.HostID)
+		if h != nil {
+			name = h.Name
+		}
+		agent := m.agents.Ensure(spec.HostID, name)
+		waited, served := agent.Exec(p, sample.Host+spec.ExtraHostS)
+		task.Breakdown.Queue += waited
+		task.Breakdown.Host += served
+	}
+
+	// 5. Data plane.
+	if spec.Body != nil {
+		d0 := p.Now()
+		task.Err = spec.Body(p)
+		task.Breakdown.Data += p.Now() - d0
+	}
+
+	// 6. Manager post-processing and final DB updates (task completion,
+	// inventory commit).
+	m.mgmtStage(p, task, sample.Mgmt*0.4)
+	m.dbStage(p, task, sample.DB*0.4, writes-preWrites)
+
+	task.End = p.Now()
+	m.record(task)
+	return task
+}
+
+func (m *Manager) mgmtStage(p *sim.Proc, task *Task, seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	t0 := p.Now()
+	m.threads.Acquire(p, 1)
+	task.Breakdown.Queue += p.Now() - t0
+	p.Sleep(seconds)
+	m.threads.Release(1)
+	task.Breakdown.Mgmt += seconds
+}
+
+// dbStage charges one database interaction. Under the aggregate model it
+// is `seconds` of service behind the connection pool; under the WAL model
+// it is `writes` real row commits with group-commit durability.
+func (m *Manager) dbStage(p *sim.Proc, task *Task, seconds float64, writes int) {
+	if m.waldb != nil {
+		if writes <= 0 {
+			return
+		}
+		wait, service := m.waldb.Commit(p, writes)
+		task.Breakdown.Queue += wait
+		task.Breakdown.DB += service
+		return
+	}
+	if seconds <= 0 {
+		return
+	}
+	t0 := p.Now()
+	m.db.Acquire(p, 1)
+	task.Breakdown.Queue += p.Now() - t0
+	p.Sleep(seconds)
+	m.db.Release(1)
+	task.Breakdown.DB += seconds
+}
+
+func (m *Manager) record(t *Task) {
+	ks, ok := m.perKind[t.Req.Kind]
+	if !ok {
+		ks = &kindStats{}
+		m.perKind[t.Req.Kind] = ks
+	}
+	ks.latency.Add(t.Latency())
+	ks.sum = ks.sum.Add(t.Breakdown)
+	ks.count++
+	if t.Err != nil {
+		m.errs++
+	}
+	for _, fn := range m.sinks {
+		fn(t)
+	}
+}
+
+// KindSummary aggregates completed tasks of one kind.
+type KindSummary struct {
+	Kind          ops.Kind
+	Count         int64
+	Errors        int64 // included in Count
+	MeanLatency   float64
+	P95Latency    float64
+	MaxLatency    float64
+	MeanBreakdown ops.Breakdown
+}
+
+// Summary returns per-kind aggregates for every kind executed so far, in
+// canonical kind order.
+func (m *Manager) Summary() []KindSummary {
+	var out []KindSummary
+	for _, k := range ops.Kinds() {
+		ks, ok := m.perKind[k]
+		if !ok {
+			continue
+		}
+		out = append(out, KindSummary{
+			Kind:          k,
+			Count:         ks.count,
+			MeanLatency:   ks.latency.Mean(),
+			P95Latency:    ks.latency.Percentile(95),
+			MaxLatency:    ks.latency.Max(),
+			MeanBreakdown: ks.sum.Scale(1 / float64(ks.count)),
+		})
+	}
+	return out
+}
+
+// TasksCompleted returns the number of tasks executed.
+func (m *Manager) TasksCompleted() int64 { return m.nextTaskID }
+
+// TaskErrors returns the number of tasks that completed with an error.
+func (m *Manager) TaskErrors() int64 { return m.errs }
+
+// ResourceReport exposes the manager's serialization points for the
+// queueing experiments.
+type ResourceReport struct {
+	Admission sim.ResourceStats
+	Threads   sim.ResourceStats
+	DB        sim.ResourceStats
+}
+
+// Resources returns current resource statistics.
+func (m *Manager) Resources() ResourceReport {
+	return ResourceReport{
+		Admission: m.admission.Stats(),
+		Threads:   m.threads.Stats(),
+		DB:        m.db.Stats(),
+	}
+}

@@ -1,0 +1,169 @@
+package mgmtdb
+
+import (
+	"math"
+	"testing"
+
+	"cloudmcp/internal/sim"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSingleCommitLatency(t *testing.T) {
+	env := sim.NewEnv()
+	db, err := New(env, Config{Conns: 2, WriteS: 0.01, FlushS: 0.05, GroupWindowS: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wait, service float64
+	env.Go("c", func(p *sim.Proc) {
+		wait, service = db.Commit(p, 3)
+	})
+	end := env.Run(sim.Forever)
+	// 3 rows * 10ms + 50ms flush = 80ms total, no queueing.
+	if !almost(float64(end), 0.08, 1e-9) {
+		t.Fatalf("end = %v", end)
+	}
+	if wait != 0 || !almost(service, 0.08, 1e-9) {
+		t.Fatalf("wait=%v service=%v", wait, service)
+	}
+	s := db.Stats()
+	if s.Commits != 1 || s.Flushes != 1 || s.Rows != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestZeroWritesFree(t *testing.T) {
+	env := sim.NewEnv()
+	db, _ := New(env, DefaultConfig())
+	env.Go("c", func(p *sim.Proc) {
+		w, s := db.Commit(p, 0)
+		if w != 0 || s != 0 {
+			t.Errorf("w=%v s=%v", w, s)
+		}
+	})
+	if end := env.Run(sim.Forever); end != 0 {
+		t.Fatalf("end = %v", end)
+	}
+	if db.Stats().Commits != 0 {
+		t.Fatal("zero-write commit counted")
+	}
+}
+
+func TestGroupCommitSharesFlush(t *testing.T) {
+	// 8 commits arriving inside one 100ms window share a single flush.
+	env := sim.NewEnv()
+	db, _ := New(env, Config{Conns: 8, WriteS: 0.001, FlushS: 0.05, GroupWindowS: 0.1})
+	for i := 0; i < 8; i++ {
+		i := i
+		env.Go("c", func(p *sim.Proc) {
+			p.Sleep(sim.Time(i) * 0.005) // all well inside the window
+			db.Commit(p, 1)
+		})
+	}
+	env.Run(sim.Forever)
+	s := db.Stats()
+	if s.Commits != 8 {
+		t.Fatalf("commits = %d", s.Commits)
+	}
+	if s.Flushes != 1 {
+		t.Fatalf("flushes = %d, want 1 (group commit)", s.Flushes)
+	}
+	if !almost(s.MeanGroupSize, 8, 1e-9) {
+		t.Fatalf("group size = %v", s.MeanGroupSize)
+	}
+}
+
+func TestNoBatchingFlushesPerCommit(t *testing.T) {
+	env := sim.NewEnv()
+	db, _ := New(env, Config{Conns: 8, WriteS: 0.001, FlushS: 0.05, GroupWindowS: 0})
+	for i := 0; i < 8; i++ {
+		env.Go("c", func(p *sim.Proc) { db.Commit(p, 1) })
+	}
+	end := env.Run(sim.Forever)
+	s := db.Stats()
+	if s.Flushes != 8 {
+		t.Fatalf("flushes = %d, want 8", s.Flushes)
+	}
+	// Flushes serialize: makespan >= 8 * 50ms.
+	if float64(end) < 0.4 {
+		t.Fatalf("end = %v, want >= 0.4 (serialized flushes)", end)
+	}
+}
+
+func TestBatchingImprovesThroughput(t *testing.T) {
+	run := func(window float64) sim.Time {
+		env := sim.NewEnv()
+		db, _ := New(env, Config{Conns: 16, WriteS: 0.001, FlushS: 0.05, GroupWindowS: window})
+		for i := 0; i < 64; i++ {
+			env.Go("c", func(p *sim.Proc) {
+				for j := 0; j < 4; j++ {
+					db.Commit(p, 2)
+				}
+			})
+		}
+		return env.Run(sim.Forever)
+	}
+	noBatch := run(0)
+	batched := run(0.02)
+	if float64(batched)*2 > float64(noBatch) {
+		t.Fatalf("batching did not help: %v vs %v", batched, noBatch)
+	}
+}
+
+func TestConnPoolQueues(t *testing.T) {
+	env := sim.NewEnv()
+	db, _ := New(env, Config{Conns: 1, WriteS: 0.1, FlushS: 0.001, GroupWindowS: 0})
+	waits := make([]float64, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		env.Go("c", func(p *sim.Proc) {
+			w, _ := db.Commit(p, 1)
+			waits[i] = w
+		})
+	}
+	env.Run(sim.Forever)
+	queued := 0
+	for _, w := range waits {
+		if w > 0.05 {
+			queued++
+		}
+	}
+	if queued != 1 {
+		t.Fatalf("waits = %v, want exactly one queued", waits)
+	}
+}
+
+func TestCommitsDuringFlushFormNextGroup(t *testing.T) {
+	// Leader flushes for 1s; a commit arriving mid-flush must not join
+	// the closed group (it would be reported durable before its flush).
+	env := sim.NewEnv()
+	db, _ := New(env, Config{Conns: 4, WriteS: 0.001, FlushS: 1.0, GroupWindowS: 0.01})
+	var lateDone sim.Time
+	env.Go("early", func(p *sim.Proc) { db.Commit(p, 1) })
+	env.Go("late", func(p *sim.Proc) {
+		p.Sleep(0.5) // mid-flush of the first group
+		db.Commit(p, 1)
+		lateDone = p.Now()
+	})
+	env.Run(sim.Forever)
+	s := db.Stats()
+	if s.Flushes != 2 {
+		t.Fatalf("flushes = %d, want 2", s.Flushes)
+	}
+	// Late commit's flush starts after the first completes (~1.011) and
+	// takes 1s itself.
+	if float64(lateDone) < 1.9 {
+		t.Fatalf("late done at %v, joined the closed group", lateDone)
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	env := sim.NewEnv()
+	if _, err := New(env, Config{Conns: 0}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := New(env, Config{Conns: 1, WriteS: -1}); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,61 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"cloudmcp/internal/sim"
+)
+
+func TestMigrateMemoryDuration(t *testing.T) {
+	env := sim.NewEnv()
+	n, err := New(env, Config{MBps: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var end sim.Time
+	env.Go("m", func(p *sim.Proc) {
+		n.MigrateMemory(p, 2048) // 2048 MB at 1024 MB/s → 2 s
+		end = p.Now()
+	})
+	env.Run(sim.Forever)
+	if math.Abs(float64(end)-2) > 1e-9 {
+		t.Fatalf("end = %v, want 2", end)
+	}
+	if s := n.Stats(); s.Transfers != 1 || s.BytesMB != 2048 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestConcurrentMigrationsShareLink(t *testing.T) {
+	env := sim.NewEnv()
+	n, _ := New(env, DefaultConfig()) // 1250 MB/s
+	var ends []sim.Time
+	for i := 0; i < 2; i++ {
+		env.Go("m", func(p *sim.Proc) {
+			n.MigrateMemory(p, 1250)
+			ends = append(ends, p.Now())
+		})
+	}
+	env.Run(sim.Forever)
+	for _, e := range ends {
+		if math.Abs(float64(e)-2) > 1e-6 { // fair share: both take 2 s
+			t.Fatalf("ends = %v, want both 2", ends)
+		}
+	}
+}
+
+func TestZeroMemoryFree(t *testing.T) {
+	env := sim.NewEnv()
+	n, _ := New(env, DefaultConfig())
+	env.Go("m", func(p *sim.Proc) { n.MigrateMemory(p, 0) })
+	if end := env.Run(sim.Forever); end != 0 {
+		t.Fatalf("end = %v", end)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	if _, err := New(sim.NewEnv(), Config{}); err == nil {
+		t.Fatal("expected error")
+	}
+}

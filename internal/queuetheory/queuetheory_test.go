@@ -1,0 +1,136 @@
+package queuetheory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cloudmcp/internal/rng"
+	"cloudmcp/internal/sim"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestErlangCKnownValues(t *testing.T) {
+	// Classic reference: a=2 Erlangs over c=3 servers → C ≈ 0.4444.
+	q := MMc{Lambda: 2, Mu: 1, C: 3}
+	if got := q.ErlangC(); !almost(got, 4.0/9.0, 1e-9) {
+		t.Fatalf("ErlangC = %v, want 4/9", got)
+	}
+	// M/M/1 reduces to rho.
+	q1 := MMc{Lambda: 0.5, Mu: 1, C: 1}
+	if got := q1.ErlangC(); !almost(got, 0.5, 1e-12) {
+		t.Fatalf("M/M/1 ErlangC = %v, want rho", got)
+	}
+}
+
+func TestMM1WaitFormula(t *testing.T) {
+	// M/M/1: Wq = rho/(mu-lambda).
+	q := MMc{Lambda: 0.8, Mu: 1, C: 1}
+	want := 0.8 / (1 - 0.8)
+	if got := q.MeanWait(); !almost(got, want, 1e-9) {
+		t.Fatalf("Wq = %v, want %v", got, want)
+	}
+}
+
+func TestUnstableQueue(t *testing.T) {
+	q := MMc{Lambda: 5, Mu: 1, C: 3}
+	if q.Stable() {
+		t.Fatal("rho>1 reported stable")
+	}
+	if q.ErlangC() != 1 || !math.IsInf(q.MeanWait(), 1) || !math.IsInf(q.MeanQueueLen(), 1) {
+		t.Fatal("unstable queue metrics wrong")
+	}
+	if q.Utilization() != 1 {
+		t.Fatal("unstable utilization must clamp to 1")
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MMc{Lambda: 0, Mu: 1, C: 1}.ErlangC()
+}
+
+func TestLittleLawConsistency(t *testing.T) {
+	f := func(l8, m8, c8 uint8) bool {
+		lambda := 0.1 + float64(l8%50)/10
+		mu := 0.5 + float64(m8%30)/10
+		c := int(c8%8) + 1
+		q := MMc{Lambda: lambda, Mu: mu, C: c}
+		if !q.Stable() {
+			return true
+		}
+		// Lq = lambda * Wq must hold by construction; check numerically.
+		return almost(q.MeanQueueLen(), q.Lambda*q.MeanWait(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErlangCMonotoneInLoad(t *testing.T) {
+	prev := 0.0
+	for i := 1; i <= 9; i++ {
+		q := MMc{Lambda: float64(i), Mu: 1, C: 10}
+		c := q.ErlangC()
+		if c <= prev && i > 1 {
+			t.Fatalf("ErlangC not increasing at lambda=%d", i)
+		}
+		prev = c
+	}
+}
+
+// simulateMMc drives a sim.Resource with Poisson arrivals and exponential
+// service and returns (mean wait, utilization) from the resource stats.
+func simulateMMc(seed int64, lambda, mu float64, c, n int) (meanWait, util float64) {
+	env := sim.NewEnv()
+	res := sim.NewResource(env, "station", c)
+	arr := rng.Derive(seed, "arrivals")
+	svc := rng.Derive(seed, "service")
+	env.Go("source", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Sleep(arr.Exponential(1 / lambda))
+			d := svc.Exponential(1 / mu)
+			env.Go("job", func(jp *sim.Proc) {
+				res.Acquire(jp, 1)
+				jp.Sleep(d)
+				res.Release(1)
+			})
+		}
+	})
+	env.Run(sim.Forever)
+	st := res.Stats()
+	return st.MeanWait, st.Utilization
+}
+
+// TestSimMatchesErlangC is the simulator cross-validation: the kernel's
+// Resource under Poisson load must reproduce the analytic M/M/c mean
+// wait and utilization within sampling error. This is the soundness
+// anchor for every queueing result the experiments report.
+func TestSimMatchesErlangC(t *testing.T) {
+	cases := []MMc{
+		{Lambda: 0.5, Mu: 1, C: 1}, // mid-load M/M/1
+		{Lambda: 0.8, Mu: 1, C: 1}, // high-load M/M/1
+		{Lambda: 2.0, Mu: 1, C: 3}, // multi-server
+		{Lambda: 6.0, Mu: 1, C: 8}, // larger pool
+		{Lambda: 3.2, Mu: 2, C: 2}, // faster servers
+	}
+	const n = 200000
+	for _, q := range cases {
+		wantW := q.MeanWait()
+		gotW, gotU := simulateMMc(11, q.Lambda, q.Mu, q.C, n)
+		// 5% relative tolerance plus small absolute floor for near-zero
+		// waits; n is large enough for this to be tight.
+		tol := 0.05*wantW + 0.01
+		if !almost(gotW, wantW, tol) {
+			t.Errorf("M/M/%d λ=%v: sim wait %.4f vs theory %.4f", q.C, q.Lambda, gotW, wantW)
+		}
+		if !almost(gotU, q.Utilization(), 0.02) {
+			t.Errorf("M/M/%d λ=%v: sim util %.4f vs theory %.4f", q.C, q.Lambda, gotU, q.Utilization())
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("T1: mix", "kind", "count", "frac")
+	tb.AddRow("deploy", 120, 0.61234)
+	tb.AddRow("powerOn", 80, 0.4)
+	out := tb.String()
+	if !strings.Contains(out, "T1: mix") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "deploy") || !strings.Contains(out, "0.612") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Separator row is dashes.
+	if !strings.Contains(lines[2], "----") {
+		t.Fatalf("no separator:\n%s", out)
+	}
+}
+
+func TestTableColumnAlignment(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("longvalue", 1)
+	tb.AddRow("x", 22)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// All data lines should have the same byte offset for column b.
+	idx1 := strings.Index(lines[2], "1")
+	idx2 := strings.Index(lines[3], "22")
+	if idx1 != idx2 {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x", "extra")
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Fatalf("ragged row dropped:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1.23456: "1.235",
+		123.456: "123.5",
+		1e7:     "1e+07",
+		0.00001: "1e-05",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Fatalf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := FormatFloat(-123.456); got != "-123.5" {
+		t.Fatalf("negative = %q", got)
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := NewSeries("F1: throughput", "concurrency", "deploys/s")
+	s.Add(1, 0.5)
+	s.Add(2, 1.0)
+	s.Add(4, 1.0)
+	out := s.String()
+	if !strings.Contains(out, "F1: throughput") || !strings.Contains(out, "concurrency") {
+		t.Fatalf("missing labels:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Max bar is 40 chars, half-value bar is 20.
+	if strings.Count(lines[2], "#") != 20 || strings.Count(lines[3], "#") != 40 {
+		t.Fatalf("bars wrong:\n%s", out)
+	}
+}
+
+func TestSeriesZeroMax(t *testing.T) {
+	s := NewSeries("flat", "x", "y")
+	s.Add(1, 0)
+	out := s.String()
+	if strings.Contains(out, "#") {
+		t.Fatalf("bars for zero series:\n%s", out)
+	}
+}
+
+func TestSeriesCustomBarWidth(t *testing.T) {
+	s := NewSeries("", "x", "y")
+	s.BarWidth = 10
+	s.Add(1, 5)
+	if got := strings.Count(s.String(), "#"); got != 10 {
+		t.Fatalf("bar = %d", got)
+	}
+}
+
+func TestTableRenderMarkdown(t *testing.T) {
+	tb := NewTable("Mix", "kind", "n")
+	tb.AddRow("deploy", 12)
+	tb.AddRow("power|on", 3) // pipe must be escaped
+	var sb strings.Builder
+	if err := tb.RenderMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "**Mix**") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "| kind | n |") || !strings.Contains(out, "|---|---|") {
+		t.Fatalf("bad header:\n%s", out)
+	}
+	if !strings.Contains(out, `power\|on`) {
+		t.Fatalf("pipe not escaped:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, blank, header, sep, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestMarkdownRaggedRows(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x", "extra")
+	var sb strings.Builder
+	tb.RenderMarkdown(&sb)
+	if !strings.Contains(sb.String(), "| x | extra |") {
+		t.Fatalf("ragged markdown:\n%s", sb.String())
+	}
+}

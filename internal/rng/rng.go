@@ -1,0 +1,169 @@
+// Package rng provides seeded pseudo-random streams and the distributions
+// the workload generators and cost models draw from.
+//
+// Every stochastic component of the simulator owns a Stream derived from a
+// master seed plus a component label, so adding a new random consumer does
+// not perturb the draws seen by existing ones — a requirement for the
+// reproducibility guarantees the experiment harness makes.
+package rng
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Stream is an independent deterministic random stream.
+type Stream struct {
+	r *rand.Rand
+}
+
+// New returns a stream seeded directly with seed.
+func New(seed int64) *Stream {
+	return &Stream{r: rand.New(rand.NewSource(seed))}
+}
+
+// Derive returns a sub-stream keyed by the master seed and a label. The
+// same (seed, label) pair always yields the same stream, and distinct
+// labels yield well-separated streams.
+func Derive(seed int64, label string) *Stream {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", seed, label)
+	return New(int64(h.Sum64()))
+}
+
+// Float64 returns a uniform draw in [0,1).
+func (s *Stream) Float64() float64 { return s.r.Float64() }
+
+// Intn returns a uniform draw in [0,n).
+func (s *Stream) Intn(n int) int { return s.r.Intn(n) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (s *Stream) Int63() int64 { return s.r.Int63() }
+
+// Perm returns a random permutation of [0,n).
+func (s *Stream) Perm(n int) []int { return s.r.Perm(n) }
+
+// Uniform returns a draw in [lo, hi).
+func (s *Stream) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.r.Float64()
+}
+
+// Exponential returns an exponentially distributed draw with the given
+// mean (mean = 1/rate). It panics if mean <= 0.
+func (s *Stream) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		panic(fmt.Sprintf("rng: exponential mean %v", mean))
+	}
+	return s.r.ExpFloat64() * mean
+}
+
+// Normal returns a normal draw with the given mean and standard deviation.
+func (s *Stream) Normal(mean, stddev float64) float64 {
+	return mean + stddev*s.r.NormFloat64()
+}
+
+// LogNormal returns a draw from a log-normal distribution parameterized by
+// the desired mean and coefficient of variation (cv = stddev/mean) of the
+// resulting distribution, which is how service-time variability is usually
+// specified. It panics if mean <= 0 or cv < 0.
+func (s *Stream) LogNormal(mean, cv float64) float64 {
+	if mean <= 0 || cv < 0 {
+		panic(fmt.Sprintf("rng: lognormal mean=%v cv=%v", mean, cv))
+	}
+	if cv == 0 {
+		return mean
+	}
+	sigma2 := math.Log(1 + cv*cv)
+	mu := math.Log(mean) - sigma2/2
+	return math.Exp(mu + math.Sqrt(sigma2)*s.r.NormFloat64())
+}
+
+// Pareto returns a draw from a Pareto distribution with the given minimum
+// value and shape alpha (>0). Heavy-tailed when alpha <= 2.
+func (s *Stream) Pareto(xmin, alpha float64) float64 {
+	if xmin <= 0 || alpha <= 0 {
+		panic(fmt.Sprintf("rng: pareto xmin=%v alpha=%v", xmin, alpha))
+	}
+	u := 1 - s.r.Float64() // in (0,1]
+	return xmin / math.Pow(u, 1/alpha)
+}
+
+// Bernoulli returns true with probability p.
+func (s *Stream) Bernoulli(p float64) bool { return s.r.Float64() < p }
+
+// Zipf draws ranks in [0, n) with Zipfian skew theta (0 = uniform; larger
+// is more skewed). Used for template popularity.
+type Zipf struct {
+	cum []float64
+	s   *Stream
+}
+
+// NewZipf precomputes the rank CDF. n must be > 0 and theta >= 0.
+func NewZipf(s *Stream, n int, theta float64) *Zipf {
+	if n <= 0 || theta < 0 {
+		panic(fmt.Sprintf("rng: zipf n=%d theta=%v", n, theta))
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), theta)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{cum: cum, s: s}
+}
+
+// Draw returns a rank in [0, n).
+func (z *Zipf) Draw() int {
+	u := z.s.Float64()
+	return sort.SearchFloat64s(z.cum, u)
+}
+
+// WeightedChoice selects index i with probability weights[i]/sum(weights).
+// It panics on an empty or non-positive-sum weight vector.
+func (s *Stream) WeightedChoice(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: negative weight")
+		}
+		total += w
+	}
+	if len(weights) == 0 || total <= 0 {
+		panic("rng: weighted choice over empty/zero weights")
+	}
+	u := s.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1 // float round-off
+}
+
+// Empirical draws from a fixed set of values with equal probability —
+// handy for replaying measured service times.
+type Empirical struct {
+	vals []float64
+	s    *Stream
+}
+
+// NewEmpirical copies vals; it panics if vals is empty.
+func NewEmpirical(s *Stream, vals []float64) *Empirical {
+	if len(vals) == 0 {
+		panic("rng: empirical over no values")
+	}
+	cp := make([]float64, len(vals))
+	copy(cp, vals)
+	return &Empirical{vals: cp, s: s}
+}
+
+// Draw returns one of the values uniformly at random.
+func (e *Empirical) Draw() float64 { return e.vals[e.s.Intn(len(e.vals))] }

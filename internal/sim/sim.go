@@ -1,0 +1,466 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a virtual clock through a time-ordered event heap.
+// Model logic is written as processes: ordinary functions that run on their
+// own goroutine but are scheduled cooperatively, one at a time, by the
+// kernel. A process blocks by sleeping, acquiring a Resource, or waiting on
+// a Queue or Signal; while it is blocked the kernel runs other events. At
+// most one process executes at any instant, so model code needs no locking
+// and — together with seeded randomness from package rng — a simulation run
+// is fully deterministic: the same inputs produce the same event order and
+// the same results.
+//
+// Time is measured in seconds of virtual time as a float64 (type Time).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"os"
+)
+
+// debugEvents enables a low-overhead event-rate trace for diagnosing
+// runaway event cascades; set CLOUDMCP_DEBUG_EVENTS=1.
+var debugEvents = os.Getenv("CLOUDMCP_DEBUG_EVENTS") != ""
+
+// Time is virtual time in seconds since the start of the simulation.
+type Time = float64
+
+// Forever is a convenient horizon for Run when the caller wants the event
+// heap to drain completely.
+const Forever Time = math.MaxFloat64
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq int64 // tie-break: FIFO among simultaneous events
+	fn  func()
+	idx int // heap index, -1 when popped/cancelled
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Env is a simulation environment: a virtual clock plus an event heap.
+// Create one with NewEnv; it is not safe for concurrent use from outside
+// the simulation (all model code runs under the kernel's cooperative
+// scheduler, which provides the necessary serialization).
+type Env struct {
+	now     Time
+	heap    eventHeap
+	seq     int64
+	running bool
+	stopped bool
+
+	// procDone is signaled by a process goroutine whenever it blocks or
+	// terminates, returning control to the kernel loop.
+	procDone chan struct{}
+
+	// nproc counts live (started, not yet finished) processes, for leak
+	// detection in tests.
+	nproc int
+}
+
+// NewEnv returns an empty environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{procDone: make(chan struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Env) Now() Time { return e.now }
+
+// Schedule registers fn to run after delay seconds of virtual time.
+// A negative delay panics: events cannot be scheduled in the past.
+// The returned Timer may be used to cancel the event before it fires.
+func (e *Env) Schedule(delay Time, fn func()) *Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	ev := &event{at: e.now + delay, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return &Timer{env: e, ev: ev}
+}
+
+// Timer is a handle to a scheduled event.
+type Timer struct {
+	env *Env
+	ev  *event
+}
+
+// Stop cancels the timer's event if it has not fired yet. It reports
+// whether the event was cancelled (false when it already fired or was
+// already stopped).
+func (t *Timer) Stop() bool {
+	if t.ev == nil || t.ev.idx < 0 {
+		return false
+	}
+	heap.Remove(&t.env.heap, t.ev.idx)
+	t.ev.idx = -1
+	return true
+}
+
+// When returns the virtual time the timer is scheduled to fire.
+func (t *Timer) When() Time { return t.ev.at }
+
+// Stop terminates the simulation: Run returns after the current event
+// completes and all later events are discarded.
+func (e *Env) Stop() { e.stopped = true }
+
+// Run executes events in time order until the heap drains, the clock would
+// pass until, or Stop is called. It returns the final virtual time. Events
+// scheduled exactly at until still run.
+func (e *Env) Run(until Time) Time {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+	var nev int64
+	for len(e.heap) > 0 && !e.stopped {
+		ev := e.heap[0]
+		if ev.at > until {
+			e.now = until
+			return e.now
+		}
+		heap.Pop(&e.heap)
+		e.now = ev.at
+		if debugEvents {
+			nev++
+			if nev%10_000_000 == 0 {
+				fmt.Printf("sim DEBUG: %dM events, now=%v heap=%d fn=%p\n", nev/1_000_000, e.now, len(e.heap), ev.fn)
+			}
+		}
+		ev.fn()
+	}
+	if e.now < until && until != Forever {
+		e.now = until
+	}
+	return e.now
+}
+
+// Pending returns the number of scheduled (uncancelled) events.
+func (e *Env) Pending() int { return len(e.heap) }
+
+// LiveProcs returns the number of processes that have started and not yet
+// returned. A drained simulation with blocked processes will report them
+// here; tests use this to detect leaks.
+func (e *Env) LiveProcs() int { return e.nproc }
+
+// Proc is a simulation process: a goroutine scheduled cooperatively by the
+// kernel. All Proc methods must be called from the process's own function.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	dead   bool
+}
+
+// Name returns the label given to Go when the process was spawned.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Go spawns fn as a new process, starting at the current virtual time
+// (after already-scheduled events at this time, preserving FIFO order).
+func (e *Env) Go(name string, fn func(p *Proc)) {
+	p := &Proc{env: e, name: name, resume: make(chan struct{})}
+	e.nproc++
+	e.Schedule(0, func() {
+		go func() {
+			<-p.resume
+			fn(p)
+			p.dead = true
+			e.nproc--
+			e.procDone <- struct{}{}
+		}()
+		e.wake(p)
+	})
+}
+
+// wake hands control to p and blocks the kernel until p yields back.
+func (e *Env) wake(p *Proc) {
+	p.resume <- struct{}{}
+	<-e.procDone
+}
+
+// yield returns control from the process to the kernel and blocks until
+// some event resumes the process.
+func (p *Proc) yield() {
+	p.env.procDone <- struct{}{}
+	<-p.resume
+}
+
+// Sleep blocks the process for d seconds of virtual time. Negative d
+// panics.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v", d))
+	}
+	p.env.Schedule(d, func() { p.env.wake(p) })
+	p.yield()
+}
+
+// Resource is a counted resource with FIFO admission: at most Capacity
+// units may be held at once; Acquire blocks the calling process until its
+// request can be granted in arrival order.
+//
+// Resource additionally keeps the time-integrals needed for utilization and
+// queue-length statistics (see Stats).
+type Resource struct {
+	env      *Env
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*resWaiter
+
+	// accounting
+	lastT        Time
+	busyIntegral float64 // ∫ inUse dt
+	qIntegral    float64 // ∫ len(waiters) dt
+	grants       int64
+	waitTotal    float64
+	maxQueue     int
+}
+
+type resWaiter struct {
+	p       *Proc
+	n       int
+	since   Time
+	granted bool
+	blocked bool // true once the owning process has yielded
+}
+
+// NewResource creates a resource with the given capacity (units > 0).
+func NewResource(env *Env, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource %q capacity %d", name, capacity))
+	}
+	return &Resource{env: env, name: name, capacity: capacity}
+}
+
+// Name returns the resource's label.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the total number of units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting to acquire.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+func (r *Resource) account() {
+	dt := r.env.now - r.lastT
+	if dt > 0 {
+		r.busyIntegral += dt * float64(r.inUse)
+		r.qIntegral += dt * float64(len(r.waiters))
+	}
+	r.lastT = r.env.now
+}
+
+// Acquire blocks p until n units are available and this request is at the
+// head of the FIFO queue. n must be in [1, capacity].
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n <= 0 || n > r.capacity {
+		panic(fmt.Sprintf("sim: acquire %d of %q (capacity %d)", n, r.name, r.capacity))
+	}
+	r.account()
+	w := &resWaiter{p: p, n: n, since: r.env.now}
+	r.waiters = append(r.waiters, w)
+	if len(r.waiters) > r.maxQueue {
+		r.maxQueue = len(r.waiters)
+	}
+	r.dispatch()
+	if !w.granted {
+		w.blocked = true
+		p.yield()
+	}
+	if !w.granted {
+		panic("sim: resumed without grant") // kernel invariant
+	}
+}
+
+// Release returns n units to the resource and wakes eligible waiters.
+// It may be called from any process or event callback.
+func (r *Resource) Release(n int) {
+	if n <= 0 || n > r.inUse {
+		panic(fmt.Sprintf("sim: release %d of %q (in use %d)", n, r.name, r.inUse))
+	}
+	r.account()
+	r.inUse -= n
+	r.dispatch()
+}
+
+// dispatch grants requests strictly in FIFO order: the head waiter blocks
+// later (smaller) requests even if those could be satisfied, preventing
+// starvation of large requests.
+func (r *Resource) dispatch() {
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		if r.inUse+w.n > r.capacity {
+			return
+		}
+		r.waiters = r.waiters[1:]
+		r.inUse += w.n
+		w.granted = true
+		r.grants++
+		r.waitTotal += r.env.now - w.since
+		if w.blocked {
+			// The process has yielded: resume it via a fresh event so
+			// wakeups stay in deterministic heap order.
+			p := w.p
+			r.env.Schedule(0, func() { r.env.wake(p) })
+		}
+		// Otherwise the acquiring process is still running inside
+		// Acquire; it sees granted==true and continues inline.
+	}
+}
+
+// ResourceStats is a snapshot of a resource's accumulated statistics.
+type ResourceStats struct {
+	Name         string
+	Capacity     int
+	Grants       int64   // completed acquisitions
+	Utilization  float64 // mean fraction of capacity in use
+	MeanQueueLen float64 // time-averaged waiter count
+	MeanWait     float64 // mean seconds spent queued per grant
+	MaxQueueLen  int
+}
+
+// Stats returns utilization and queueing statistics accumulated since the
+// start of the simulation, evaluated at the current virtual time.
+func (r *Resource) Stats() ResourceStats {
+	r.account()
+	s := ResourceStats{Name: r.name, Capacity: r.capacity, Grants: r.grants, MaxQueueLen: r.maxQueue}
+	if r.env.now > 0 {
+		s.Utilization = r.busyIntegral / (r.env.now * float64(r.capacity))
+		s.MeanQueueLen = r.qIntegral / r.env.now
+	}
+	if r.grants > 0 {
+		s.MeanWait = r.waitTotal / float64(r.grants)
+	}
+	return s
+}
+
+// Queue is an unbounded FIFO channel between processes: Put never blocks,
+// Get blocks the caller until an item is available. Items are delivered to
+// getters in arrival order.
+type Queue struct {
+	env     *Env
+	items   []any
+	getters []*qGetter
+}
+
+type qGetter struct {
+	p     *Proc
+	item  any
+	ready bool
+}
+
+// NewQueue creates an empty queue.
+func NewQueue(env *Env) *Queue { return &Queue{env: env} }
+
+// Len returns the number of buffered items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Waiting returns the number of blocked getters.
+func (q *Queue) Waiting() int { return len(q.getters) }
+
+// Put appends v and wakes the oldest blocked getter, if any.
+func (q *Queue) Put(v any) {
+	if len(q.getters) > 0 {
+		g := q.getters[0]
+		q.getters = q.getters[1:]
+		g.item = v
+		g.ready = true
+		p := g.p
+		q.env.Schedule(0, func() { q.env.wake(p) })
+		return
+	}
+	q.items = append(q.items, v)
+}
+
+// Get blocks p until an item is available and returns it.
+func (q *Queue) Get(p *Proc) any {
+	if len(q.items) > 0 {
+		v := q.items[0]
+		q.items = q.items[1:]
+		return v
+	}
+	g := &qGetter{p: p}
+	q.getters = append(q.getters, g)
+	p.yield()
+	if !g.ready {
+		panic("sim: queue getter resumed without item")
+	}
+	return g.item
+}
+
+// Signal is a broadcast condition: processes Wait on it and all waiters are
+// released by the next Fire. Each Fire releases only the processes that
+// were already waiting.
+type Signal struct {
+	env     *Env
+	waiters []*Proc
+	fires   int64
+}
+
+// NewSignal creates a signal with no waiters.
+func NewSignal(env *Env) *Signal { return &Signal{env: env} }
+
+// Wait blocks p until the next Fire.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.yield()
+}
+
+// Fire releases all current waiters in wait order.
+func (s *Signal) Fire() {
+	ws := s.waiters
+	s.waiters = nil
+	s.fires++
+	for _, p := range ws {
+		p := p
+		s.env.Schedule(0, func() { s.env.wake(p) })
+	}
+}
+
+// Fires returns the number of times Fire has been called.
+func (s *Signal) Fires() int64 { return s.fires }
+
+// Waiters returns the number of currently blocked processes.
+func (s *Signal) Waiters() int { return len(s.waiters) }

@@ -1,0 +1,304 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMomentsBasics(t *testing.T) {
+	var m Moments
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		m.Add(x)
+	}
+	if m.Count() != 8 {
+		t.Fatalf("count = %d", m.Count())
+	}
+	if !almost(m.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v", m.Mean())
+	}
+	// Population variance is 4; sample variance = 32/7.
+	if !almost(m.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %v", m.Variance())
+	}
+	if m.Min() != 2 || m.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", m.Min(), m.Max())
+	}
+	if !almost(m.Sum(), 40, 1e-9) {
+		t.Fatalf("sum = %v", m.Sum())
+	}
+}
+
+func TestMomentsEmptyAndSingle(t *testing.T) {
+	var m Moments
+	if m.Mean() != 0 || m.Variance() != 0 || m.CV() != 0 {
+		t.Fatal("empty moments not zero")
+	}
+	m.Add(3)
+	if m.Variance() != 0 || m.Mean() != 3 || m.Min() != 3 || m.Max() != 3 {
+		t.Fatal("single-value moments wrong")
+	}
+}
+
+func TestMomentsMatchNaive(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var m Moments
+		sum, sum2 := 0.0, 0.0
+		for _, r := range raw {
+			x := float64(r) / 3
+			m.Add(x)
+			sum += x
+			sum2 += x * x
+		}
+		n := float64(len(raw))
+		mean := sum / n
+		variance := (sum2 - n*mean*mean) / (n - 1)
+		return almost(m.Mean(), mean, 1e-6) && almost(m.Variance(), math.Max(variance, 0), 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if !almost(s.Median(), 50.5, 1e-9) {
+		t.Fatalf("median = %v", s.Median())
+	}
+	if !almost(s.Percentile(0), 1, 1e-9) || !almost(s.Percentile(100), 100, 1e-9) {
+		t.Fatalf("p0/p100 = %v/%v", s.Percentile(0), s.Percentile(100))
+	}
+	p95 := s.Percentile(95)
+	if p95 < 95 || p95 > 96.5 {
+		t.Fatalf("p95 = %v", p95)
+	}
+}
+
+func TestSamplePercentileInterleavedAdds(t *testing.T) {
+	var s Sample
+	s.Add(5)
+	_ = s.Median() // forces a sort
+	s.Add(1)       // must invalidate the sort
+	s.Add(9)
+	if !almost(s.Median(), 5, 1e-9) {
+		t.Fatalf("median = %v", s.Median())
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 || s.CDF(4) != nil || s.FractionBelow(10) != 0 {
+		t.Fatal("empty sample not zero-valued")
+	}
+}
+
+func TestSamplePercentilePanics(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Percentile(101)
+}
+
+func TestSampleCDFMonotone(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, r := range raw {
+			s.Add(float64(r))
+		}
+		cdf := s.CDF(20)
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].X < cdf[i-1].X || cdf[i].F <= cdf[i-1].F {
+				return false
+			}
+		}
+		return cdf[len(cdf)-1].F == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{1, 2, 3, 4} {
+		s.Add(x)
+	}
+	if got := s.FractionBelow(2); !almost(got, 0.5, 1e-9) {
+		t.Fatalf("FractionBelow(2) = %v", got)
+	}
+	if got := s.FractionBelow(0.5); got != 0 {
+		t.Fatalf("FractionBelow(0.5) = %v", got)
+	}
+	if got := s.FractionBelow(100); got != 1 {
+		t.Fatalf("FractionBelow(100) = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.Underflow() != 1 || h.Overflow() != 2 {
+		t.Fatalf("under=%d over=%d", h.Underflow(), h.Overflow())
+	}
+	if h.Bin(0) != 2 { // 0 and 1.9
+		t.Fatalf("bin0 = %d", h.Bin(0))
+	}
+	if h.Bin(1) != 1 { // 2
+		t.Fatalf("bin1 = %d", h.Bin(1))
+	}
+	if h.Bin(4) != 1 { // 9.99
+		t.Fatalf("bin4 = %d", h.Bin(4))
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.BinStart(3) != 6 {
+		t.Fatalf("binstart(3) = %v", h.BinStart(3))
+	}
+}
+
+func TestHistogramCountsConserved(t *testing.T) {
+	f := func(raw []int16) bool {
+		h := NewHistogram(-100, 100, 13)
+		for _, r := range raw {
+			h.Add(float64(r))
+		}
+		var inBins int64
+		for i := 0; i < h.NumBins(); i++ {
+			inBins += h.Bin(i)
+		}
+		return inBins+h.Underflow()+h.Overflow() == int64(len(raw))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(60)
+	ts.Add(0, 1)
+	ts.Add(59.9, 1)
+	ts.Add(60, 1)
+	ts.Add(185, 1)
+	if ts.Len() != 4 {
+		t.Fatalf("len = %d", ts.Len())
+	}
+	if ts.At(0) != 2 || ts.At(1) != 1 || ts.At(2) != 0 || ts.At(3) != 1 {
+		t.Fatalf("bins = %v", ts.Bins())
+	}
+	peak, idx := ts.Peak()
+	if peak != 2 || idx != 0 {
+		t.Fatalf("peak = %v@%d", peak, idx)
+	}
+	if ts.At(100) != 0 {
+		t.Fatal("out-of-range At not zero")
+	}
+}
+
+func TestTimeSeriesBurstiness(t *testing.T) {
+	// A constant-rate series has dispersion ~0; a bursty one is large.
+	flat := NewTimeSeries(1)
+	for i := 0; i < 100; i++ {
+		flat.Add(float64(i), 5)
+	}
+	bursty := NewTimeSeries(1)
+	for i := 0; i < 100; i++ {
+		if i%10 == 0 {
+			bursty.Add(float64(i), 50)
+		} else {
+			bursty.Add(float64(i), 0)
+		}
+	}
+	if flat.IndexOfDispersion() != 0 {
+		t.Fatalf("flat dispersion = %v", flat.IndexOfDispersion())
+	}
+	if bursty.IndexOfDispersion() < 10 {
+		t.Fatalf("bursty dispersion = %v", bursty.IndexOfDispersion())
+	}
+	if flat.PeakToMean() != 1 {
+		t.Fatalf("flat peak/mean = %v", flat.PeakToMean())
+	}
+	if bursty.PeakToMean() != 10 {
+		t.Fatalf("bursty peak/mean = %v", bursty.PeakToMean())
+	}
+}
+
+func TestTimeSeriesMean(t *testing.T) {
+	ts := NewTimeSeries(10)
+	if ts.Mean() != 0 {
+		t.Fatal("empty mean not 0")
+	}
+	ts.Add(5, 4)
+	ts.Add(15, 2)
+	if !almost(ts.Mean(), 3, 1e-12) {
+		t.Fatalf("mean = %v", ts.Mean())
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"hist-bad-range": func() { NewHistogram(5, 5, 3) },
+		"hist-bad-bins":  func() { NewHistogram(0, 1, 0) },
+		"ts-bad-width":   func() { NewTimeSeries(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAutocorrelationPeriodicSignal(t *testing.T) {
+	// Period-4 square wave: strong positive correlation at lag 4,
+	// strong negative at lag 2.
+	var xs []float64
+	for i := 0; i < 200; i++ {
+		if i%4 < 2 {
+			xs = append(xs, 1)
+		} else {
+			xs = append(xs, 0)
+		}
+	}
+	if r := Autocorrelation(xs, 4); r < 0.9 {
+		t.Fatalf("lag-4 r = %v, want ~1", r)
+	}
+	if r := Autocorrelation(xs, 2); r > -0.9 {
+		t.Fatalf("lag-2 r = %v, want ~-1", r)
+	}
+}
+
+func TestAutocorrelationDegenerate(t *testing.T) {
+	if Autocorrelation(nil, 1) != 0 {
+		t.Fatal("nil series")
+	}
+	if Autocorrelation([]float64{5, 5, 5, 5}, 1) != 0 {
+		t.Fatal("constant series")
+	}
+	if Autocorrelation([]float64{1, 2, 3}, 5) != 0 {
+		t.Fatal("lag beyond length")
+	}
+	if Autocorrelation([]float64{1, 2, 3}, 0) != 0 {
+		t.Fatal("zero lag must be rejected")
+	}
+}

@@ -1,0 +1,199 @@
+// Package trace defines the management-operation trace format the
+// characterization pipeline consumes: one flat record per completed task,
+// serializable as JSON lines or CSV so traces can be generated once
+// (cmd/mcpgen) and analyzed separately (cmd/mcpchar), mirroring how the
+// paper's measurements were collected from live systems and studied
+// offline.
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"cloudmcp/internal/mgmt"
+	"cloudmcp/internal/ops"
+)
+
+// Record is one completed management operation.
+type Record struct {
+	TaskID int64  `json:"task"`
+	Kind   string `json:"kind"`
+	Mode   string `json:"mode,omitempty"` // deploys only: full|linked
+	Org    string `json:"org,omitempty"`
+
+	// VM and Template reference the operation's targets by inventory ID
+	// (0 when not applicable). IDs are only meaningful within the run
+	// that produced the trace; the replayer maps them structurally.
+	VM       int64 `json:"vm,omitempty"`
+	Template int64 `json:"template,omitempty"`
+
+	Submit float64 `json:"submit"` // virtual seconds
+	End    float64 `json:"end"`
+
+	Latency float64 `json:"latency"`
+	Queue   float64 `json:"queue"`
+	Cell    float64 `json:"cell"`
+	Mgmt    float64 `json:"mgmt"`
+	DB      float64 `json:"db"`
+	Host    float64 `json:"host"`
+	Data    float64 `json:"data"`
+
+	Err string `json:"err,omitempty"`
+}
+
+// Breakdown reassembles the record's latency breakdown.
+func (r Record) Breakdown() ops.Breakdown {
+	return ops.Breakdown{Queue: r.Queue, Cell: r.Cell, Mgmt: r.Mgmt, DB: r.DB, Host: r.Host, Data: r.Data}
+}
+
+// OpKind parses the record's kind.
+func (r Record) OpKind() (ops.Kind, error) { return ops.ParseKind(r.Kind) }
+
+// FromTask flattens a completed task into a record.
+func FromTask(t *mgmt.Task) Record {
+	r := Record{
+		TaskID:   t.ID,
+		Kind:     t.Req.Kind.String(),
+		Org:      t.Req.Org,
+		VM:       int64(t.Req.VMID),
+		Template: int64(t.Req.TemplateID),
+		Submit:   t.Req.Submit,
+		End:      float64(t.End),
+		Latency:  t.Latency(),
+		Queue:    t.Breakdown.Queue,
+		Cell:     t.Breakdown.Cell,
+		Mgmt:     t.Breakdown.Mgmt,
+		DB:       t.Breakdown.DB,
+		Host:     t.Breakdown.Host,
+		Data:     t.Breakdown.Data,
+	}
+	if t.Req.Kind == ops.KindDeploy {
+		r.Mode = t.Req.Mode.String()
+	}
+	if t.Err != nil {
+		r.Err = t.Err.Error()
+	}
+	return r
+}
+
+// Recorder is a task sink that accumulates records in memory. Register
+// Sink with mgmt.Manager.AddTaskSink.
+type Recorder struct {
+	records []Record
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Sink appends the task's record.
+func (rc *Recorder) Sink(t *mgmt.Task) { rc.records = append(rc.records, FromTask(t)) }
+
+// Records returns the accumulated records (shared slice; callers must not
+// mutate).
+func (rc *Recorder) Records() []Record { return rc.records }
+
+// Len returns the number of records.
+func (rc *Recorder) Len() int { return len(rc.records) }
+
+// Reset discards accumulated records.
+func (rc *Recorder) Reset() { rc.records = nil }
+
+// WriteJSONL writes one JSON object per line.
+func WriteJSONL(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range records {
+		if err := enc.Encode(&records[i]); err != nil {
+			return fmt.Errorf("trace: encode record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reads records written by WriteJSONL.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	var out []Record
+	dec := json.NewDecoder(r)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decode record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}
+
+var csvHeader = []string{
+	"task", "kind", "mode", "org", "vm", "template", "submit", "end",
+	"latency", "queue", "cell", "mgmt", "db", "host", "data", "err",
+}
+
+// WriteCSV writes records with a header row.
+func WriteCSV(w io.Writer, records []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for i := range records {
+		r := &records[i]
+		row := []string{
+			strconv.FormatInt(r.TaskID, 10), r.Kind, r.Mode, r.Org,
+			strconv.FormatInt(r.VM, 10), strconv.FormatInt(r.Template, 10),
+			f(r.Submit), f(r.End), f(r.Latency), f(r.Queue), f(r.Cell),
+			f(r.Mgmt), f(r.DB), f(r.Host), f(r.Data), r.Err,
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write record %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads records written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty csv")
+	}
+	if len(rows[0]) != len(csvHeader) || rows[0][0] != "task" {
+		return nil, fmt.Errorf("trace: unexpected csv header %v", rows[0])
+	}
+	out := make([]Record, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		var rec Record
+		var errs [12]error
+		rec.TaskID, errs[0] = strconv.ParseInt(row[0], 10, 64)
+		rec.Kind, rec.Mode, rec.Org = row[1], row[2], row[3]
+		rec.VM, errs[1] = strconv.ParseInt(row[4], 10, 64)
+		rec.Template, errs[2] = strconv.ParseInt(row[5], 10, 64)
+		rec.Submit, errs[3] = strconv.ParseFloat(row[6], 64)
+		rec.End, errs[4] = strconv.ParseFloat(row[7], 64)
+		rec.Latency, errs[5] = strconv.ParseFloat(row[8], 64)
+		rec.Queue, errs[6] = strconv.ParseFloat(row[9], 64)
+		rec.Cell, errs[7] = strconv.ParseFloat(row[10], 64)
+		rec.Mgmt, errs[8] = strconv.ParseFloat(row[11], 64)
+		rec.DB, errs[9] = strconv.ParseFloat(row[12], 64)
+		rec.Host, errs[10] = strconv.ParseFloat(row[13], 64)
+		rec.Data, errs[11] = strconv.ParseFloat(row[14], 64)
+		rec.Err = row[15]
+		for _, e := range errs {
+			if e != nil {
+				return nil, fmt.Errorf("trace: csv row %d: %v", i+1, e)
+			}
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

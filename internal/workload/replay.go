@@ -1,0 +1,234 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"cloudmcp/internal/clouddir"
+	"cloudmcp/internal/inventory"
+	"cloudmcp/internal/mgmt"
+	"cloudmcp/internal/ops"
+	"cloudmcp/internal/sim"
+	"cloudmcp/internal/trace"
+)
+
+// Replayer re-issues a recorded management trace against a (possibly
+// differently configured) cloud: the what-if tool the characterization
+// methodology enables. Records are dispatched open-loop at their recorded
+// submit times, so a smaller control plane shows up as queueing and
+// latency, exactly as it would have in production.
+//
+// Entity identity does not survive across runs, so targets are remapped
+// structurally: deploys map the recorded template reference onto the new
+// catalog (by order), and VM-scoped operations are applied to a live VM
+// of the same tenant, chosen round-robin. Records that cannot be mapped
+// (an op for a tenant with no live VMs, or a system-internal op the new
+// control plane regenerates itself) are counted, not silently dropped.
+type Replayer struct {
+	env     *sim.Env
+	dir     *clouddir.Director
+	records []trace.Record
+
+	// per-org state
+	vapps  map[string][]inventory.ID // live vApp ring per org
+	rrIdx  map[string]int
+	stats  ReplayStats
+	nextID int64
+}
+
+// ReplayStats counts replay dispatch outcomes.
+type ReplayStats struct {
+	Issued    int64            // operations dispatched
+	Unmapped  int64            // records with no live target in the new run
+	SystemOps int64            // internal ops skipped (the new run makes its own)
+	ByKind    map[string]int64 // issued, by kind
+}
+
+// NewReplayer prepares a replay of records against dir. Records are
+// copied and sorted by submit time.
+func NewReplayer(env *sim.Env, dir *clouddir.Director, records []trace.Record) (*Replayer, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	if len(dir.Manager().Inventory().Templates()) == 0 {
+		return nil, fmt.Errorf("workload: inventory has no templates")
+	}
+	cp := make([]trace.Record, len(records))
+	copy(cp, records)
+	sort.SliceStable(cp, func(i, j int) bool { return cp[i].Submit < cp[j].Submit })
+	return &Replayer{
+		env: env, dir: dir, records: cp,
+		vapps: make(map[string][]inventory.ID),
+		rrIdx: make(map[string]int),
+		stats: ReplayStats{ByKind: make(map[string]int64)},
+	}, nil
+}
+
+// Stats returns dispatch counts accumulated so far.
+func (r *Replayer) Stats() ReplayStats { return r.stats }
+
+// Start launches the replay driver process. Dispatch is open-loop: each
+// record fires at its recorded submit time regardless of how the previous
+// ones are progressing.
+func (r *Replayer) Start() {
+	r.env.Go("replay", func(p *sim.Proc) {
+		for _, rec := range r.records {
+			if at := sim.Time(rec.Submit); at > p.Now() {
+				p.Sleep(at - p.Now())
+			}
+			r.dispatch(rec)
+		}
+	})
+}
+
+func (r *Replayer) dispatch(rec trace.Record) {
+	kind, err := rec.OpKind()
+	if err != nil {
+		r.stats.Unmapped++
+		return
+	}
+	switch kind {
+	case ops.KindDeploy:
+		r.stats.Issued++
+		r.stats.ByKind[rec.Kind]++
+		r.nextID++
+		org := rec.Org
+		tplRef := rec.Template
+		r.env.Go(fmt.Sprintf("replay-deploy-%d", r.nextID), func(p *sim.Proc) {
+			inv := r.dir.Manager().Inventory()
+			tpls := inv.Templates()
+			tpl := inv.Template(tpls[int(tplRef)%len(tpls)])
+			res := r.dir.DeployVApp(p, org, tpl, 1, true)
+			if res.Err == nil {
+				r.vapps[org] = append(r.vapps[org], res.VApp.ID)
+			} else if res.VApp != nil && inv.VApp(res.VApp.ID) != nil {
+				r.dir.DeleteVApp(p, res.VApp, org)
+			}
+		})
+	case ops.KindDestroy:
+		va := r.popVApp(rec.Org)
+		if va == inventory.None {
+			r.stats.Unmapped++
+			return
+		}
+		r.stats.Issued++
+		r.stats.ByKind[rec.Kind]++
+		r.nextID++
+		org := rec.Org
+		r.env.Go(fmt.Sprintf("replay-destroy-%d", r.nextID), func(p *sim.Proc) {
+			inv := r.dir.Manager().Inventory()
+			if v := inv.VApp(va); v != nil {
+				r.dir.DeleteVApp(p, v, org)
+			}
+		})
+	case ops.KindPowerOn, ops.KindPowerOff, ops.KindReconfigure,
+		ops.KindSnapshotCreate, ops.KindSnapshotRemove, ops.KindMigrate,
+		ops.KindSuspend, ops.KindResume:
+		vmID := r.pickVM(rec.Org)
+		if vmID == inventory.None {
+			r.stats.Unmapped++
+			return
+		}
+		r.stats.Issued++
+		r.stats.ByKind[rec.Kind]++
+		r.nextID++
+		org := rec.Org
+		r.env.Go(fmt.Sprintf("replay-op-%d", r.nextID), func(p *sim.Proc) {
+			r.applyVMOp(p, kind, vmID, org)
+		})
+	default:
+		// Rebalance, consolidation, shadow/catalog maintenance: the
+		// replayed control plane generates these itself.
+		r.stats.SystemOps++
+	}
+}
+
+// popVApp removes and returns the oldest live vApp of org.
+func (r *Replayer) popVApp(org string) inventory.ID {
+	inv := r.dir.Manager().Inventory()
+	ring := r.vapps[org]
+	for len(ring) > 0 {
+		id := ring[0]
+		ring = ring[1:]
+		if inv.VApp(id) != nil {
+			r.vapps[org] = ring
+			return id
+		}
+	}
+	r.vapps[org] = ring
+	return inventory.None
+}
+
+// pickVM returns a live VM of org, round-robin over its vApps.
+func (r *Replayer) pickVM(org string) inventory.ID {
+	inv := r.dir.Manager().Inventory()
+	ring := r.vapps[org]
+	for range ring {
+		idx := r.rrIdx[org] % len(ring)
+		r.rrIdx[org]++
+		va := inv.VApp(ring[idx])
+		if va == nil || len(va.VMs) == 0 {
+			continue
+		}
+		return va.VMs[0]
+	}
+	return inventory.None
+}
+
+func (r *Replayer) applyVMOp(p *sim.Proc, kind ops.Kind, vmID inventory.ID, org string) {
+	mgr := r.dir.Manager()
+	inv := mgr.Inventory()
+	vm := inv.VM(vmID)
+	if vm == nil {
+		return
+	}
+	ctx := mgmt.ReqCtx{Org: org}
+	switch kind {
+	case ops.KindPowerOn:
+		if vm.State == inventory.VMPoweredOff {
+			mgr.PowerOn(p, vm, ctx)
+		}
+	case ops.KindPowerOff:
+		if vm.State == inventory.VMPoweredOn {
+			mgr.PowerOff(p, vm, ctx)
+		}
+	case ops.KindReconfigure:
+		mgr.Reconfigure(p, vm, ctx)
+	case ops.KindSnapshotCreate:
+		mgr.SnapshotCreate(p, vm, ctx)
+	case ops.KindSnapshotRemove:
+		if vm.Snapshots > 0 {
+			mgr.SnapshotRemove(p, vm, ctx)
+		}
+	case ops.KindMigrate:
+		if dst := r.pickMigrationTarget(vm); dst != nil {
+			mgr.Migrate(p, vm, dst, ctx)
+		}
+	case ops.KindSuspend:
+		if vm.State == inventory.VMPoweredOn {
+			mgr.Suspend(p, vm, ctx)
+		}
+	case ops.KindResume:
+		if vm.State == inventory.VMSuspended {
+			mgr.Resume(p, vm, ctx)
+		}
+	}
+}
+
+func (r *Replayer) pickMigrationTarget(vm *inventory.VM) *inventory.Host {
+	inv := r.dir.Manager().Inventory()
+	var best *inventory.Host
+	for _, id := range inv.Hosts() {
+		if id == vm.HostID {
+			continue
+		}
+		h := inv.Host(id)
+		if !h.InService() || h.FreeMemMB() < vm.MemMB {
+			continue
+		}
+		if best == nil || h.FreeMemMB() > best.FreeMemMB() {
+			best = h
+		}
+	}
+	return best
+}
