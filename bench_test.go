@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"cloudmcp/internal/core"
 )
@@ -286,6 +288,36 @@ func BenchmarkE15_Replay(b *testing.B) {
 		b.ReportMetric(one.DeployP95S/last.DeployP95S, "p95-1cell:4cell")
 	}
 	printOnce(b, "E15", renderable{res.Render})
+}
+
+// BenchmarkSweepEngine measures the sweep engine's parallel speedup on a
+// fixed E6-style grid: the same grid run serially (Workers=1) and across
+// all cores, with the wall-time ratio reported as the "speedup" metric.
+// The two runs render byte-identical tables; only wall time may differ.
+func BenchmarkSweepEngine(b *testing.B) {
+	grid := func(workers int) core.E6Params {
+		return core.E6Params{Seed: benchSeed, Concurrency: []int{1, 2, 4, 8, 16, 32}, HorizonS: 300, Workers: workers}
+	}
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := core.RunE6(grid(1)); err != nil {
+			b.Fatal(err)
+		}
+		t1 := time.Now()
+		res, err := core.RunE6(grid(runtime.GOMAXPROCS(0)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		serial += t1.Sub(t0)
+		parallel += time.Since(t1)
+		if i == 0 {
+			printOnce(b, "SweepEngine", renderable{res.Render})
+		}
+	}
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup")
+	b.ReportMetric(parallel.Seconds()/float64(b.N), "parallel-s/grid")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
 }
 
 func BenchmarkE16_RestartStorm(b *testing.B) {

@@ -1,17 +1,22 @@
-// Command mcpbench runs the full experiment suite (E1..E12, the
-// reconstructed paper tables and figures) and prints every artifact.
+// Command mcpbench runs the full experiment suite (E1..E16, the
+// reconstructed paper tables/figures plus the extensions) and prints
+// every artifact. Experiments and their internal parameter sweeps run in
+// parallel across -workers cores; output is byte-identical for any
+// worker count at a fixed seed.
 //
 //	mcpbench            # full-scale horizons (minutes of wall time)
 //	mcpbench -quick     # CI-scale horizons (seconds)
 //	mcpbench -seed 7    # different random universe
 //	mcpbench -only E6   # one experiment
+//	mcpbench -workers 1 # serial execution (same output, more wall time)
+//	mcpbench -progress  # completion ticks on stderr
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
+	"time"
 
 	"cloudmcp/internal/core"
 )
@@ -19,69 +24,34 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "master random seed")
 	quick := flag.Bool("quick", false, "run shortened horizons")
-	only := flag.String("only", "", "run a single experiment (E1..E12)")
+	only := flag.String("only", "", "run a single experiment (E1..E16)")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "print per-experiment completion to stderr")
 	flag.Parse()
 
-	if *only == "" {
-		if err := core.RunAll(os.Stdout, *seed, *quick); err != nil {
-			fmt.Fprintln(os.Stderr, "mcpbench:", err)
-			os.Exit(1)
+	if *only != "" {
+		res, err := core.RunExperiment(*only, *seed, *quick, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			fatal(err)
 		}
 		return
 	}
-	if err := runOne(os.Stdout, *only, *seed, *quick); err != nil {
-		fmt.Fprintln(os.Stderr, "mcpbench:", err)
-		os.Exit(1)
+	opts := core.RunAllOptions{Workers: *workers}
+	if *progress {
+		opts.Progress = func(done, total int, elapsed time.Duration) {
+			fmt.Fprintf(os.Stderr, "mcpbench: %d/%d experiments done (%.1fs)\n",
+				done, total, elapsed.Seconds())
+		}
+	}
+	if err := core.RunAllWith(os.Stdout, *seed, *quick, opts); err != nil {
+		fatal(err)
 	}
 }
 
-func runOne(w io.Writer, name string, seed int64, quick bool) error {
-	scale := 1.0
-	if quick {
-		scale = 0.1
-	}
-	var (
-		res interface{ Render(io.Writer) error }
-		err error
-	)
-	switch name {
-	case "E1":
-		res, err = core.RunE1(core.E1Params{Seed: seed, HorizonS: 2 * core.Day * scale})
-	case "E2":
-		res, err = core.RunE2(core.E2Params{Seed: seed, HorizonS: 2 * core.Day * scale})
-	case "E3":
-		res, err = core.RunE3(core.E3Params{Seed: seed, HorizonS: 2 * core.Day * scale})
-	case "E4":
-		res, err = core.RunE4(core.E4Params{Seed: seed, HorizonS: 12 * core.Hour * scale})
-	case "E5":
-		res, err = core.RunE5(core.E5Params{Seed: seed})
-	case "E6":
-		res, err = core.RunE6(core.E6Params{Seed: seed, HorizonS: 1800 * scale})
-	case "E7":
-		res, err = core.RunE7(core.E7Params{Seed: seed, HorizonS: core.Hour * scale})
-	case "E8":
-		res, err = core.RunE8(core.E8Params{Seed: seed, HorizonS: 2 * core.Hour * scale})
-	case "E9":
-		res, err = core.RunE9(core.E9Params{Seed: seed, HorizonS: core.Hour * scale})
-	case "E10":
-		res, err = core.RunE10(core.E10Params{Seed: seed, HorizonS: 1800 * scale})
-	case "E11":
-		res, err = core.RunE11(core.E11Params{Seed: seed, HorizonS: 1800 * scale})
-	case "E12":
-		res, err = core.RunE12(core.E12Params{Seed: seed, HorizonS: 1800 * scale})
-	case "E13":
-		res, err = core.RunE13(core.E13Params{Seed: seed, HorizonS: 1800 * scale})
-	case "E14":
-		res, err = core.RunE14(core.E14Params{Seed: seed, HorizonS: 1800 * scale})
-	case "E15":
-		res, err = core.RunE15(core.E15Params{Seed: seed, RecordS: 2 * core.Hour * scale})
-	case "E16":
-		res, err = core.RunE16(core.E16Params{Seed: seed, HorizonS: 1800 * scale})
-	default:
-		return fmt.Errorf("unknown experiment %q (want E1..E16)", name)
-	}
-	if err != nil {
-		return err
-	}
-	return res.Render(w)
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcpbench:", err)
+	os.Exit(1)
 }

@@ -1,0 +1,321 @@
+// Command mcpsweep runs an arbitrary what-if parameter grid — the
+// generalization of the hardcoded E6/E10/E11 sweeps. It loads a base
+// configuration (a scenarios/*.json file, or the defaults), varies one
+// or more fields over a grid, runs the closed-loop provisioning workload
+// at every grid point in parallel through internal/sweep, and emits one
+// result row per point as an ASCII table or CSV. Output is byte-identical
+// for any -workers value at a fixed seed.
+//
+//	mcpsweep -vary cells=1,2,4,8 -vary concurrency=16,64
+//	mcpsweep -config scenarios/paper-era.json -vary dbConns=1,2,4 -format csv
+//	mcpsweep -vary granularity=coarse,host,entity -horizon 1200
+//
+// Grid order is row-major over the -vary flags in command-line order
+// (the first flag varies slowest). By default every point runs the same
+// master seed so configurations are compared under identical workload
+// randomness; -point-seeds gives each point its own seed derived from
+// the master seed and point index instead.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cloudmcp/internal/clouddir"
+	"cloudmcp/internal/core"
+	"cloudmcp/internal/mgmt"
+	"cloudmcp/internal/report"
+	"cloudmcp/internal/sweep"
+)
+
+// runSpec carries the per-point knobs that are not Config fields.
+type runSpec struct {
+	clients int // closed-loop deploy clients
+}
+
+// field is one vary-able knob: how to parse a value and apply it.
+type field struct {
+	name  string
+	apply func(cfg *core.Config, rs *runSpec, val string) error
+}
+
+func intField(name string, set func(*core.Config, *runSpec, int)) field {
+	return field{name, func(cfg *core.Config, rs *runSpec, val string) error {
+		n, err := strconv.Atoi(val)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("%s=%q: want a positive integer", name, val)
+		}
+		set(cfg, rs, n)
+		return nil
+	}}
+}
+
+func floatField(name string, set func(*core.Config, float64)) field {
+	return field{name, func(cfg *core.Config, _ *runSpec, val string) error {
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f <= 0 {
+			return fmt.Errorf("%s=%q: want a positive number", name, val)
+		}
+		set(cfg, f)
+		return nil
+	}}
+}
+
+// fields is the registry of grid dimensions mcpsweep can vary.
+var fields = []field{
+	intField("cells", func(c *core.Config, _ *runSpec, n int) { c.Director.Cells = n }),
+	intField("cellThreads", func(c *core.Config, _ *runSpec, n int) { c.Director.CellThreads = n }),
+	intField("threads", func(c *core.Config, _ *runSpec, n int) { c.Mgmt.Threads = n }),
+	intField("dbConns", func(c *core.Config, _ *runSpec, n int) { c.Mgmt.DBConns = n }),
+	intField("hostSlots", func(c *core.Config, _ *runSpec, n int) { c.Mgmt.HostSlots = n }),
+	intField("maxInFlight", func(c *core.Config, _ *runSpec, n int) { c.Mgmt.MaxInFlight = n }),
+	intField("hosts", func(c *core.Config, _ *runSpec, n int) { c.Topology.Hosts = n }),
+	intField("datastores", func(c *core.Config, _ *runSpec, n int) { c.Topology.Datastores = n }),
+	intField("maxChainLen", func(c *core.Config, _ *runSpec, n int) { c.Director.MaxChainLen = n }),
+	intField("concurrency", func(_ *core.Config, rs *runSpec, n int) { rs.clients = n }),
+	floatField("templateGB", func(c *core.Config, f float64) { c.Topology.TemplateDiskGB = f }),
+	floatField("datastoreMBps", func(c *core.Config, f float64) { c.Topology.DatastoreMBps = f }),
+	{"fast", func(cfg *core.Config, _ *runSpec, val string) error {
+		b, err := strconv.ParseBool(val)
+		if err != nil {
+			return fmt.Errorf("fast=%q: want true/false", val)
+		}
+		cfg.Director.FastProvisioning = b
+		return nil
+	}},
+	{"granularity", func(cfg *core.Config, _ *runSpec, val string) error {
+		switch val {
+		case "coarse":
+			cfg.Mgmt.Granularity = mgmt.GranularityCoarse
+		case "host":
+			cfg.Mgmt.Granularity = mgmt.GranularityHost
+		case "entity":
+			cfg.Mgmt.Granularity = mgmt.GranularityEntity
+		default:
+			return fmt.Errorf("granularity=%q: want coarse|host|entity", val)
+		}
+		return nil
+	}},
+	{"placement", func(cfg *core.Config, _ *runSpec, val string) error {
+		switch val {
+		case "most-free":
+			cfg.Director.Placement = clouddir.PlaceMostFree
+		case "sticky-org":
+			cfg.Director.Placement = clouddir.PlaceStickyOrg
+		default:
+			return fmt.Errorf("placement=%q: want most-free|sticky-org", val)
+		}
+		return nil
+	}},
+}
+
+func fieldByName(name string) (field, bool) {
+	for _, f := range fields {
+		if f.name == name {
+			return f, true
+		}
+	}
+	return field{}, false
+}
+
+func fieldNames() string {
+	names := make([]string, len(fields))
+	for i, f := range fields {
+		names[i] = f.name
+	}
+	return strings.Join(names, ", ")
+}
+
+// varySpec is one -vary flag: a field and its value list.
+type varySpec struct {
+	field  field
+	values []string
+}
+
+// varyFlag accumulates repeated -vary flags in command-line order.
+type varyFlag struct{ specs []varySpec }
+
+func (v *varyFlag) String() string {
+	var parts []string
+	for _, s := range v.specs {
+		parts = append(parts, s.field.name+"="+strings.Join(s.values, ","))
+	}
+	return strings.Join(parts, " ")
+}
+
+func (v *varyFlag) Set(s string) error {
+	name, vals, ok := strings.Cut(s, "=")
+	if !ok || vals == "" {
+		return fmt.Errorf("want field=v1,v2,... got %q", s)
+	}
+	f, ok := fieldByName(name)
+	if !ok {
+		return fmt.Errorf("unknown field %q (known: %s)", name, fieldNames())
+	}
+	for _, prev := range v.specs {
+		if prev.field.name == f.name {
+			return fmt.Errorf("field %q varied twice; give all its values in one -vary", f.name)
+		}
+	}
+	values := strings.Split(vals, ",")
+	// Validate every value up front against a scratch config so a typo
+	// fails before hours of simulation.
+	for _, val := range values {
+		scratch, rs := core.DefaultConfig(1), runSpec{clients: 1}
+		if err := f.apply(&scratch, &rs, val); err != nil {
+			return err
+		}
+	}
+	v.specs = append(v.specs, varySpec{field: f, values: values})
+	return nil
+}
+
+// row is one grid point's rendered result.
+type row struct {
+	values []string // one per varied field
+	res    core.ClosedLoopResult
+}
+
+func main() {
+	var vary varyFlag
+	flag.Var(&vary, "vary", "field=v1,v2,... grid dimension (repeatable); fields: "+fieldNames())
+	configPath := flag.String("config", "", "JSON scenario file for the base configuration")
+	seed := flag.Int64("seed", 1, "master random seed (overrides the scenario's)")
+	concurrency := flag.Int("concurrency", 32, "closed-loop deploy clients (unless varied)")
+	horizon := flag.Float64("horizon", 600, "simulated seconds per grid point")
+	warmup := flag.Float64("warmup", 0, "warmup seconds excluded from measurement (0 = horizon/10)")
+	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	format := flag.String("format", "ascii", "output format: ascii or csv")
+	pointSeeds := flag.Bool("point-seeds", false, "derive an independent seed per grid point instead of sharing the master seed")
+	progress := flag.Bool("progress", false, "print per-point completion to stderr")
+	flag.Parse()
+
+	if len(vary.specs) == 0 {
+		fatal(fmt.Errorf("nothing to sweep: pass at least one -vary field=v1,v2,... (fields: %s)", fieldNames()))
+	}
+	if *format != "ascii" && *format != "csv" {
+		fatal(fmt.Errorf("unknown format %q (want ascii or csv)", *format))
+	}
+	if *warmup == 0 {
+		*warmup = *horizon / 10
+	}
+	if *warmup >= *horizon {
+		fatal(fmt.Errorf("warmup %.0fs must be below the horizon %.0fs", *warmup, *horizon))
+	}
+
+	base := core.DefaultConfig(*seed)
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		base, err = core.LoadConfig(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		seedSet := false
+		flag.Visit(func(fl *flag.Flag) { seedSet = seedSet || fl.Name == "seed" })
+		if seedSet {
+			base.Seed = *seed
+		}
+	}
+
+	// Row-major grid: the first -vary flag varies slowest.
+	total := 1
+	for _, s := range vary.specs {
+		total *= len(s.values)
+	}
+	assign := func(index int) []string {
+		vals := make([]string, len(vary.specs))
+		for i := len(vary.specs) - 1; i >= 0; i-- {
+			n := len(vary.specs[i].values)
+			vals[i] = vary.specs[i].values[index%n]
+			index /= n
+		}
+		return vals
+	}
+
+	opts := sweep.Options{MasterSeed: base.Seed, Workers: *workers}
+	if *progress {
+		opts.OnProgress = func(p sweep.Progress) {
+			fmt.Fprintf(os.Stderr, "mcpsweep: %d/%d points done (%.1fs)\n",
+				p.Done, p.Total, p.Elapsed.Seconds())
+		}
+	}
+	start := time.Now()
+	rows, err := sweep.Run(opts, total, func(pt sweep.Point) (row, error) {
+		cfg := base // per-point copy; applied fields only touch value fields
+		if *pointSeeds {
+			cfg.Seed = pt.Seed
+		}
+		rs := runSpec{clients: *concurrency}
+		vals := assign(pt.Index)
+		for i, s := range vary.specs {
+			if err := s.field.apply(&cfg, &rs, vals[i]); err != nil {
+				return row{}, err
+			}
+		}
+		res, err := core.RunClosedLoop(cfg, rs.clients, *horizon, *warmup)
+		return row{values: vals, res: res}, err
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	headers := make([]string, 0, len(vary.specs)+4)
+	for _, s := range vary.specs {
+		headers = append(headers, s.field.name)
+	}
+	headers = append(headers, "deploys/h", "mean lat s", "p95 lat s", "errors")
+	switch *format {
+	case "csv":
+		w := csv.NewWriter(os.Stdout)
+		if err := w.Write(headers); err != nil {
+			fatal(err)
+		}
+		for _, r := range rows {
+			rec := append([]string{}, r.values...)
+			rec = append(rec,
+				strconv.FormatFloat(r.res.DeploysPerHour, 'g', -1, 64),
+				strconv.FormatFloat(r.res.MeanLatencyS, 'g', -1, 64),
+				strconv.FormatFloat(r.res.P95LatencyS, 'g', -1, 64),
+				strconv.Itoa(r.res.Errors))
+			if err := w.Write(rec); err != nil {
+				fatal(err)
+			}
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			fatal(err)
+		}
+	default:
+		title := fmt.Sprintf("mcpsweep: %d-point grid, %.0fs horizon, seed %d",
+			total, *horizon, base.Seed)
+		t := report.NewTable(title, headers...)
+		for _, r := range rows {
+			cells := make([]any, 0, len(headers))
+			for _, v := range r.values {
+				cells = append(cells, v)
+			}
+			cells = append(cells, r.res.DeploysPerHour, r.res.MeanLatencyS, r.res.P95LatencyS, r.res.Errors)
+			t.AddRow(cells...)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *progress {
+		fmt.Fprintf(os.Stderr, "mcpsweep: %d points in %.1fs\n", total, time.Since(start).Seconds())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcpsweep:", err)
+	os.Exit(1)
+}

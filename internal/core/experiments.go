@@ -17,6 +17,7 @@ import (
 	"cloudmcp/internal/rng"
 	"cloudmcp/internal/sim"
 	"cloudmcp/internal/stats"
+	"cloudmcp/internal/sweep"
 	"cloudmcp/internal/trace"
 	"cloudmcp/internal/workload"
 )
@@ -340,6 +341,7 @@ func (r *E4Result) DeployControlShare(mode string) (float64, bool) {
 type E5Params struct {
 	Seed    int64
 	SizesGB []float64 // default 1..64
+	Workers int       // sweep worker pool; 0 = GOMAXPROCS
 }
 
 // E5Point is one sweep point.
@@ -352,41 +354,47 @@ type E5Point struct {
 // E5Result holds the sweep.
 type E5Result struct{ Points []E5Point }
 
-// RunE5 measures a single uncontended deploy per size and mode.
+// RunE5 measures a single uncontended deploy per size and mode. The
+// sizes run in parallel through the sweep engine; each point is a pure
+// function of (seed, size), so the table is identical for any Workers.
 func RunE5(p E5Params) (*E5Result, error) {
 	if len(p.SizesGB) == 0 {
 		p.SizesGB = []float64{1, 2, 4, 8, 16, 32, 64}
 	}
-	res := &E5Result{}
-	for _, size := range p.SizesGB {
-		pt := E5Point{SizeGB: size}
-		for _, fast := range []bool{false, true} {
-			cfg := DefaultConfig(p.Seed)
-			cfg.Topology.TemplateDiskGB = size
-			cfg.Director.FastProvisioning = fast
-			c, err := New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			inv := c.Inventory()
-			tpl := inv.Template(inv.Templates()[0])
-			var latency float64
-			c.Go("deploy", func(proc *sim.Proc) {
-				resD := c.Director().DeployVApp(proc, "org", tpl, 1, false)
-				if resD.Err == nil && len(resD.Tasks) > 0 {
-					latency = resD.Tasks[0].Latency()
+	points, err := sweep.Run(sweep.Options{MasterSeed: p.Seed, Workers: p.Workers}, len(p.SizesGB),
+		func(sp sweep.Point) (E5Point, error) {
+			size := p.SizesGB[sp.Index]
+			pt := E5Point{SizeGB: size}
+			for _, fast := range []bool{false, true} {
+				cfg := DefaultConfig(p.Seed)
+				cfg.Topology.TemplateDiskGB = size
+				cfg.Director.FastProvisioning = fast
+				c, err := New(cfg)
+				if err != nil {
+					return pt, err
 				}
-			})
-			c.Run(100 * Hour)
-			if fast {
-				pt.LinkedS = latency
-			} else {
-				pt.FullS = latency
+				inv := c.Inventory()
+				tpl := inv.Template(inv.Templates()[0])
+				var latency float64
+				c.Go("deploy", func(proc *sim.Proc) {
+					resD := c.Director().DeployVApp(proc, "org", tpl, 1, false)
+					if resD.Err == nil && len(resD.Tasks) > 0 {
+						latency = resD.Tasks[0].Latency()
+					}
+				})
+				c.Run(100 * Hour)
+				if fast {
+					pt.LinkedS = latency
+				} else {
+					pt.FullS = latency
+				}
 			}
-		}
-		res.Points = append(res.Points, pt)
+			return pt, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &E5Result{Points: points}, nil
 }
 
 // Render writes the sweep as a table plus a ratio column.
@@ -414,6 +422,7 @@ type E6Params struct {
 	Concurrency []int   // default 1..128
 	HorizonS    float64 // per point, default 30 min
 	WarmupS     float64 // excluded from measurement, default 10% of horizon
+	Workers     int     // sweep worker pool; 0 = GOMAXPROCS
 }
 
 // E6Point is one sweep point.
@@ -428,27 +437,35 @@ type E6Point struct {
 // E6Result holds the sweep.
 type E6Result struct{ Points []E6Point }
 
-// closedLoopDeploys runs `workers` closed-loop deploy→destroy clients for
-// horizon seconds and returns (deploys/hour, mean deploy latency) over
-// the post-warmup window.
-func closedLoopDeploys(seed int64, fast bool, workers int, horizon, warmup float64, mutate func(*Config)) (float64, float64, error) {
-	cfg := DefaultConfig(seed)
-	cfg.Director.FastProvisioning = fast
-	cfg.Director.RebalanceThreshold = 0 // isolate provisioning
-	if mutate != nil {
-		mutate(&cfg)
-	}
+// ClosedLoopResult summarizes one closed-loop deploy→destroy run over
+// its post-warmup window.
+type ClosedLoopResult struct {
+	DeploysPerHour float64
+	MeanLatencyS   float64
+	P95LatencyS    float64
+	Errors         int // failed deploys in the window
+}
+
+// RunClosedLoop drives `clients` closed-loop deploy→destroy workers
+// against a cloud built from cfg for horizon seconds and summarizes the
+// post-warmup window. E6/E10/E11 and cmd/mcpsweep all measure through
+// this harness; the think-time stream derives from cfg.Seed only, so the
+// result is a pure function of (cfg, clients, horizon, warmup).
+func RunClosedLoop(cfg Config, clients int, horizonS, warmupS float64) (ClosedLoopResult, error) {
 	c, err := New(cfg)
 	if err != nil {
-		return 0, 0, err
+		return ClosedLoopResult{}, err
 	}
 	inv := c.Inventory()
 	tpl := inv.Template(inv.Templates()[0])
-	stream := rng.Derive(seed, "e6")
-	for i := 0; i < workers; i++ {
+	// The label predates the harness being shared beyond E6; it is part
+	// of the reproducibility contract (changing it changes every
+	// closed-loop artifact), so it stays.
+	stream := rng.Derive(cfg.Seed, "e6")
+	for i := 0; i < clients; i++ {
 		org := fmt.Sprintf("org%d", i%8)
 		c.Go(fmt.Sprintf("worker%d", i), func(p *sim.Proc) {
-			for p.Now() < horizon {
+			for p.Now() < horizonS {
 				res := c.Director().DeployVApp(p, org, tpl, 1, false)
 				if res.Err == nil {
 					c.Director().DeleteVApp(p, res.VApp, org)
@@ -460,15 +477,35 @@ func closedLoopDeploys(seed int64, fast bool, workers int, horizon, warmup float
 			}
 		})
 	}
-	c.Run(horizon)
-	recs := analysis.FilterTime(c.Records(), warmup, horizon)
-	deploys := analysis.FilterOK(analysis.FilterKind(recs, ops.KindDeploy.String()))
-	perHour := float64(len(deploys)) / (horizon - warmup) * Hour
+	c.Run(horizonS)
+	recs := analysis.FilterTime(c.Records(), warmupS, horizonS)
+	all := analysis.FilterKind(recs, ops.KindDeploy.String())
+	deploys := analysis.FilterOK(all)
 	lat := analysis.LatencySample(deploys, "")
-	return perHour, lat.Mean(), nil
+	return ClosedLoopResult{
+		DeploysPerHour: float64(len(deploys)) / (horizonS - warmupS) * Hour,
+		MeanLatencyS:   lat.Mean(),
+		P95LatencyS:    lat.Percentile(95),
+		Errors:         len(all) - len(deploys),
+	}, nil
 }
 
-// RunE6 sweeps closed-loop concurrency for both provisioning modes.
+// closedLoopDeploys runs `workers` closed-loop deploy→destroy clients for
+// horizon seconds and returns (deploys/hour, mean deploy latency) over
+// the post-warmup window.
+func closedLoopDeploys(seed int64, fast bool, workers int, horizon, warmup float64, mutate func(*Config)) (float64, float64, error) {
+	cfg := DefaultConfig(seed)
+	cfg.Director.FastProvisioning = fast
+	cfg.Director.RebalanceThreshold = 0 // isolate provisioning
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	r, err := RunClosedLoop(cfg, workers, horizon, warmup)
+	return r.DeploysPerHour, r.MeanLatencyS, err
+}
+
+// RunE6 sweeps closed-loop concurrency for both provisioning modes; the
+// concurrency points fan across the sweep engine's worker pool.
 func RunE6(p E6Params) (*E6Result, error) {
 	if len(p.Concurrency) == 0 {
 		p.Concurrency = []int{1, 2, 4, 8, 16, 32, 64, 128}
@@ -479,21 +516,22 @@ func RunE6(p E6Params) (*E6Result, error) {
 	if p.WarmupS == 0 {
 		p.WarmupS = p.HorizonS / 10
 	}
-	res := &E6Result{}
-	for _, n := range p.Concurrency {
-		pt := E6Point{Concurrency: n}
-		var err error
-		pt.FullPerHour, pt.FullMeanLatS, err = closedLoopDeploys(p.Seed, false, n, p.HorizonS, p.WarmupS, nil)
-		if err != nil {
-			return nil, err
-		}
-		pt.LinkedPerHour, pt.LinkedMeanLatS, err = closedLoopDeploys(p.Seed, true, n, p.HorizonS, p.WarmupS, nil)
-		if err != nil {
-			return nil, err
-		}
-		res.Points = append(res.Points, pt)
+	points, err := sweep.Run(sweep.Options{MasterSeed: p.Seed, Workers: p.Workers}, len(p.Concurrency),
+		func(sp sweep.Point) (E6Point, error) {
+			n := p.Concurrency[sp.Index]
+			pt := E6Point{Concurrency: n}
+			var err error
+			pt.FullPerHour, pt.FullMeanLatS, err = closedLoopDeploys(p.Seed, false, n, p.HorizonS, p.WarmupS, nil)
+			if err != nil {
+				return pt, err
+			}
+			pt.LinkedPerHour, pt.LinkedMeanLatS, err = closedLoopDeploys(p.Seed, true, n, p.HorizonS, p.WarmupS, nil)
+			return pt, err
+		})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &E6Result{Points: points}, nil
 }
 
 // Render writes the sweep table and the two throughput series.

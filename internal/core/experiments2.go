@@ -14,6 +14,7 @@ import (
 	"cloudmcp/internal/report"
 	"cloudmcp/internal/rng"
 	"cloudmcp/internal/sim"
+	"cloudmcp/internal/sweep"
 )
 
 // openLoopCloud builds a cloud and feeds it Poisson single-VM deploy
@@ -84,6 +85,7 @@ type E7Params struct {
 	Seed         int64
 	RatesPerHour []float64 // default 100..1600
 	HorizonS     float64   // per point, default 1 hour
+	Workers      int       // sweep worker pool; 0 = GOMAXPROCS
 }
 
 // E7Point is one load level's mean deploy breakdown.
@@ -108,23 +110,27 @@ func RunE7(p E7Params) (*E7Result, error) {
 	if p.HorizonS == 0 {
 		p.HorizonS = Hour
 	}
-	res := &E7Result{}
-	for _, rate := range p.RatesPerHour {
-		c, err := openLoopCloud(p.Seed, true, rate, p.HorizonS, 600, paperEraManager)
-		if err != nil {
-			return nil, err
-		}
-		deploys := analysis.FilterOK(analysis.FilterKind(c.Records(), ops.KindDeploy.String()))
-		bd, _ := analysis.MeanBreakdown(deploys, "")
-		lat := analysis.LatencySample(deploys, "")
-		res.Points = append(res.Points, E7Point{
-			RatePerHour: rate,
-			Completed:   len(deploys),
-			MeanLatS:    lat.Mean(),
-			Breakdown:   bd,
+	points, err := sweep.Run(sweep.Options{MasterSeed: p.Seed, Workers: p.Workers}, len(p.RatesPerHour),
+		func(sp sweep.Point) (E7Point, error) {
+			rate := p.RatesPerHour[sp.Index]
+			c, err := openLoopCloud(p.Seed, true, rate, p.HorizonS, 600, paperEraManager)
+			if err != nil {
+				return E7Point{}, err
+			}
+			deploys := analysis.FilterOK(analysis.FilterKind(c.Records(), ops.KindDeploy.String()))
+			bd, _ := analysis.MeanBreakdown(deploys, "")
+			lat := analysis.LatencySample(deploys, "")
+			return E7Point{
+				RatePerHour: rate,
+				Completed:   len(deploys),
+				MeanLatS:    lat.Mean(),
+				Breakdown:   bd,
+			}, nil
 		})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &E7Result{Points: points}, nil
 }
 
 // Render writes the breakdown-vs-load table.
@@ -237,6 +243,7 @@ type E9Params struct {
 	Seed         int64
 	RatesPerHour []float64 // default 100..1600
 	HorizonS     float64   // per point, default 1 hour
+	Workers      int       // sweep worker pool; 0 = GOMAXPROCS
 }
 
 // E9Point is one load level's resource report.
@@ -260,20 +267,24 @@ func RunE9(p E9Params) (*E9Result, error) {
 	if p.HorizonS == 0 {
 		p.HorizonS = Hour
 	}
-	res := &E9Result{}
-	for _, rate := range p.RatesPerHour {
-		c, err := openLoopCloud(p.Seed, true, rate, p.HorizonS, 600, paperEraManager)
-		if err != nil {
-			return nil, err
-		}
-		rr := c.Manager().Resources()
-		done := analysis.Throughput(c.Records(), "", 0, p.HorizonS) * Hour
-		res.Points = append(res.Points, E9Point{
-			RatePerHour: rate, DonePerHour: done,
-			Admission: rr.Admission, Threads: rr.Threads, DB: rr.DB,
+	points, err := sweep.Run(sweep.Options{MasterSeed: p.Seed, Workers: p.Workers}, len(p.RatesPerHour),
+		func(sp sweep.Point) (E9Point, error) {
+			rate := p.RatesPerHour[sp.Index]
+			c, err := openLoopCloud(p.Seed, true, rate, p.HorizonS, 600, paperEraManager)
+			if err != nil {
+				return E9Point{}, err
+			}
+			rr := c.Manager().Resources()
+			done := analysis.Throughput(c.Records(), "", 0, p.HorizonS) * Hour
+			return E9Point{
+				RatePerHour: rate, DonePerHour: done,
+				Admission: rr.Admission, Threads: rr.Threads, DB: rr.DB,
+			}, nil
 		})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &E9Result{Points: points}, nil
 }
 
 // Render writes the queueing table.
@@ -294,10 +305,11 @@ func (r *E9Result) Render(w io.Writer) error {
 
 // E10Params configures the cell-scaling ablation.
 type E10Params struct {
-	Seed     int64
-	Cells    []int   // default 1,2,4,8
-	Workers  int     // closed-loop clients, default 64
-	HorizonS float64 // default 30 min
+	Seed         int64
+	Cells        []int   // default 1,2,4,8
+	Workers      int     // closed-loop clients, default 64
+	HorizonS     float64 // default 30 min
+	SweepWorkers int     // sweep worker pool; 0 = GOMAXPROCS
 }
 
 // E10Point is one cell count's throughput.
@@ -323,23 +335,23 @@ func RunE10(p E10Params) (*E10Result, error) {
 	if p.HorizonS == 0 {
 		p.HorizonS = 30 * 60
 	}
-	res := &E10Result{}
-	for _, cells := range p.Cells {
-		cells := cells
-		perHour, meanLat, err := closedLoopDeploys(p.Seed, true, p.Workers, p.HorizonS, p.HorizonS/10,
-			func(cfg *Config) {
-				cfg.Director.Cells = cells
-				cfg.Director.CellThreads = 2
-				// Disable shadow churn so the cell tier is the binding
-				// stage, which is what this ablation isolates.
-				cfg.Director.MaxChainLen = 1 << 30
-			})
-		if err != nil {
-			return nil, err
-		}
-		res.Points = append(res.Points, E10Point{Cells: cells, LinkedPerHour: perHour, MeanLatS: meanLat})
+	points, err := sweep.Run(sweep.Options{MasterSeed: p.Seed, Workers: p.SweepWorkers}, len(p.Cells),
+		func(sp sweep.Point) (E10Point, error) {
+			cells := p.Cells[sp.Index]
+			perHour, meanLat, err := closedLoopDeploys(p.Seed, true, p.Workers, p.HorizonS, p.HorizonS/10,
+				func(cfg *Config) {
+					cfg.Director.Cells = cells
+					cfg.Director.CellThreads = 2
+					// Disable shadow churn so the cell tier is the binding
+					// stage, which is what this ablation isolates.
+					cfg.Director.MaxChainLen = 1 << 30
+				})
+			return E10Point{Cells: cells, LinkedPerHour: perHour, MeanLatS: meanLat}, err
+		})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &E10Result{Points: points}, nil
 }
 
 // Render writes the scaling series.
@@ -364,9 +376,10 @@ func (r *E10Result) Render(w io.Writer) error {
 
 // E11Params configures the lock ablation.
 type E11Params struct {
-	Seed     int64
-	Workers  int     // default 64
-	HorizonS float64 // default 30 min
+	Seed         int64
+	Workers      int     // closed-loop clients, default 64
+	HorizonS     float64 // default 30 min
+	SweepWorkers int     // sweep worker pool; 0 = GOMAXPROCS
 }
 
 // E11Point is one granularity's throughput.
@@ -387,17 +400,18 @@ func RunE11(p E11Params) (*E11Result, error) {
 	if p.HorizonS == 0 {
 		p.HorizonS = 30 * 60
 	}
-	res := &E11Result{}
-	for _, g := range []mgmt.LockGranularity{mgmt.GranularityCoarse, mgmt.GranularityHost, mgmt.GranularityEntity} {
-		g := g
-		perHour, meanLat, err := closedLoopDeploys(p.Seed, true, p.Workers, p.HorizonS, p.HorizonS/10,
-			func(cfg *Config) { cfg.Mgmt.Granularity = g })
-		if err != nil {
-			return nil, err
-		}
-		res.Points = append(res.Points, E11Point{Granularity: g.String(), LinkedPerHour: perHour, MeanLatS: meanLat})
+	grans := []mgmt.LockGranularity{mgmt.GranularityCoarse, mgmt.GranularityHost, mgmt.GranularityEntity}
+	points, err := sweep.Run(sweep.Options{MasterSeed: p.Seed, Workers: p.SweepWorkers}, len(grans),
+		func(sp sweep.Point) (E11Point, error) {
+			g := grans[sp.Index]
+			perHour, meanLat, err := closedLoopDeploys(p.Seed, true, p.Workers, p.HorizonS, p.HorizonS/10,
+				func(cfg *Config) { cfg.Mgmt.Granularity = g })
+			return E11Point{Granularity: g.String(), LinkedPerHour: perHour, MeanLatS: meanLat}, err
+		})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &E11Result{Points: points}, nil
 }
 
 // Render writes the ablation table.
@@ -531,77 +545,5 @@ func (r *E12Result) Render(w io.Writer) error {
 	return t.Render(w)
 }
 
-// RunAll runs every experiment at the given scale ("quick" ≈ CI-speed,
-// "paper" ≈ full horizons) and renders each to w. It returns the first
-// error.
-func RunAll(w io.Writer, seed int64, quick bool) error {
-	scale := 1.0
-	if quick {
-		scale = 0.1
-	}
-	type step struct {
-		name string
-		run  func() (interface{ Render(io.Writer) error }, error)
-	}
-	steps := []step{
-		{"E1", func() (interface{ Render(io.Writer) error }, error) {
-			return RunE1(E1Params{Seed: seed, HorizonS: 2 * Day * scale})
-		}},
-		{"E2", func() (interface{ Render(io.Writer) error }, error) {
-			return RunE2(E2Params{Seed: seed, HorizonS: 2 * Day * scale})
-		}},
-		{"E3", func() (interface{ Render(io.Writer) error }, error) {
-			return RunE3(E3Params{Seed: seed, HorizonS: 2 * Day * scale})
-		}},
-		{"E4", func() (interface{ Render(io.Writer) error }, error) {
-			return RunE4(E4Params{Seed: seed, HorizonS: 12 * Hour * scale})
-		}},
-		{"E5", func() (interface{ Render(io.Writer) error }, error) {
-			return RunE5(E5Params{Seed: seed})
-		}},
-		{"E6", func() (interface{ Render(io.Writer) error }, error) {
-			return RunE6(E6Params{Seed: seed, HorizonS: 1800 * scale})
-		}},
-		{"E7", func() (interface{ Render(io.Writer) error }, error) {
-			return RunE7(E7Params{Seed: seed, HorizonS: Hour * scale})
-		}},
-		{"E8", func() (interface{ Render(io.Writer) error }, error) {
-			return RunE8(E8Params{Seed: seed, HorizonS: 2 * Hour * scale})
-		}},
-		{"E9", func() (interface{ Render(io.Writer) error }, error) {
-			return RunE9(E9Params{Seed: seed, HorizonS: Hour * scale})
-		}},
-		{"E10", func() (interface{ Render(io.Writer) error }, error) {
-			return RunE10(E10Params{Seed: seed, HorizonS: 1800 * scale})
-		}},
-		{"E11", func() (interface{ Render(io.Writer) error }, error) {
-			return RunE11(E11Params{Seed: seed, HorizonS: 1800 * scale})
-		}},
-		{"E12", func() (interface{ Render(io.Writer) error }, error) {
-			return RunE12(E12Params{Seed: seed, HorizonS: 1800 * scale})
-		}},
-		{"E13", func() (interface{ Render(io.Writer) error }, error) {
-			return RunE13(E13Params{Seed: seed, HorizonS: 1800 * scale})
-		}},
-		{"E14", func() (interface{ Render(io.Writer) error }, error) {
-			return RunE14(E14Params{Seed: seed, HorizonS: 1800 * scale})
-		}},
-		{"E15", func() (interface{ Render(io.Writer) error }, error) {
-			return RunE15(E15Params{Seed: seed, RecordS: 2 * Hour * scale})
-		}},
-		{"E16", func() (interface{ Render(io.Writer) error }, error) {
-			return RunE16(E16Params{Seed: seed, HorizonS: 1800 * scale})
-		}},
-	}
-	for _, s := range steps {
-		r, err := s.run()
-		if err != nil {
-			return fmt.Errorf("%s: %w", s.name, err)
-		}
-		if err := r.Render(w); err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-	}
-	return nil
-}
+// RunAll and the experiment registry both suites share live in
+// registry.go.

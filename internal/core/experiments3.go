@@ -15,6 +15,7 @@ import (
 	"cloudmcp/internal/report"
 	"cloudmcp/internal/rng"
 	"cloudmcp/internal/sim"
+	"cloudmcp/internal/sweep"
 	"cloudmcp/internal/workload"
 )
 
@@ -26,10 +27,11 @@ import (
 
 // E13Params configures the batching sweep.
 type E13Params struct {
-	Seed     int64
-	WindowsS []float64 // group-commit windows; default 0..0.2
-	Workers  int       // closed-loop clients, default 64
-	HorizonS float64   // default 30 min
+	Seed         int64
+	WindowsS     []float64 // group-commit windows; default 0..0.2
+	Workers      int       // closed-loop clients, default 64
+	HorizonS     float64   // default 30 min
+	SweepWorkers int       // sweep worker pool; 0 = GOMAXPROCS
 }
 
 // E13Point is one window's outcome.
@@ -60,15 +62,16 @@ func RunE13(p E13Params) (*E13Result, error) {
 	if p.HorizonS == 0 {
 		p.HorizonS = 30 * 60
 	}
-	res := &E13Result{}
-	for _, w := range p.WindowsS {
-		perHour, meanLat, dbStats, err := e13Run(p.Seed, w, p.Workers, p.HorizonS)
-		if err != nil {
-			return nil, err
-		}
-		res.Points = append(res.Points, E13Point{WindowS: w, LinkedPerHour: perHour, MeanLatS: meanLat, DB: dbStats})
+	points, err := sweep.Run(sweep.Options{MasterSeed: p.Seed, Workers: p.SweepWorkers}, len(p.WindowsS),
+		func(sp sweep.Point) (E13Point, error) {
+			w := p.WindowsS[sp.Index]
+			perHour, meanLat, dbStats, err := e13Run(p.Seed, w, p.Workers, p.HorizonS)
+			return E13Point{WindowS: w, LinkedPerHour: perHour, MeanLatS: meanLat, DB: dbStats}, err
+		})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &E13Result{Points: points}, nil
 }
 
 // e13Run is closedLoopDeploys with WAL-stats access.

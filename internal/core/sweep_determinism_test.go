@@ -1,0 +1,57 @@
+package core
+
+// Regression tests for the determinism contract of the parallel sweep
+// rewiring: for a fixed seed, rendered artifacts must be byte-identical
+// whatever the worker count. Run with -race to also exercise the
+// concurrent path for data races.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// e6Quick is a small E6 grid: 3 points × 2 modes × 120 simulated
+// seconds, enough to produce non-trivial tables fast.
+func e6Quick(workers int) E6Params {
+	return E6Params{Seed: 1, Concurrency: []int{1, 4, 8}, HorizonS: 120, Workers: workers}
+}
+
+func renderE6(t *testing.T, p E6Params) string {
+	t.Helper()
+	r, err := RunE6(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestE6ArtifactIdenticalAcrossWorkerCounts(t *testing.T) {
+	serial := renderE6(t, e6Quick(1))
+	parallel := renderE6(t, e6Quick(8))
+	if serial != parallel {
+		t.Fatalf("E6 artifact differs between 1 and 8 sweep workers:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "E6: provisioning throughput vs concurrency") {
+		t.Fatalf("unexpected artifact:\n%s", serial)
+	}
+}
+
+func TestRegistryCoversE1ToE16(t *testing.T) {
+	names := Experiments()
+	if len(names) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(names))
+	}
+	for i, e := range names {
+		if want := fmt.Sprintf("E%d", i+1); e.Name != want {
+			t.Fatalf("registry[%d] = %q, want %q", i, e.Name, want)
+		}
+	}
+	if _, err := RunExperiment("E99", 1, true, 1); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}

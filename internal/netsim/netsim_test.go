@@ -45,6 +45,59 @@ func TestConcurrentMigrationsShareLink(t *testing.T) {
 	}
 }
 
+func TestThreeWayContentionOnOneLink(t *testing.T) {
+	env := sim.NewEnv()
+	n, _ := New(env, DefaultConfig()) // 1250 MB/s
+	ends := make([]sim.Time, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		env.Go("m", func(p *sim.Proc) {
+			n.MigrateMemory(p, 1250) // alone: 1 s; three-way shared: 3 s
+			ends[i] = p.Now()
+		})
+	}
+	env.Run(sim.Forever)
+	for i, e := range ends {
+		if math.Abs(float64(e)-3) > 1e-6 {
+			t.Fatalf("migration %d ended at %v, want 3 (fair three-way share)", i, e)
+		}
+	}
+	if s := n.Stats(); s.Transfers != 3 || math.Abs(s.BytesMB-3750) > 1e-6 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestBandwidthRedividedWhenTransferCompletes(t *testing.T) {
+	// Two simultaneous migrations of different sizes on a 1250 MB/s
+	// link. While both are in flight each gets 625 MB/s, so the small
+	// one (1250 MB) finishes at t=2 with the big one (2500 MB) half
+	// done; the big one must then get the whole link back and finish
+	// its remaining 1250 MB in 1 s, at t=3 — not at t=4, which is what
+	// a non-redividing model would produce.
+	env := sim.NewEnv()
+	n, _ := New(env, DefaultConfig())
+	var smallEnd, bigEnd sim.Time
+	env.Go("small", func(p *sim.Proc) {
+		n.MigrateMemory(p, 1250)
+		smallEnd = p.Now()
+	})
+	env.Go("big", func(p *sim.Proc) {
+		n.MigrateMemory(p, 2500)
+		bigEnd = p.Now()
+	})
+	env.Run(sim.Forever)
+	if math.Abs(float64(smallEnd)-2) > 1e-6 {
+		t.Fatalf("small migration ended at %v, want 2", smallEnd)
+	}
+	if math.Abs(float64(bigEnd)-3) > 1e-6 {
+		t.Fatalf("big migration ended at %v, want 3 (full link after re-division)", bigEnd)
+	}
+	if s := n.Stats(); math.Abs(s.MeanActive-(5.0/3.0)) > 1e-6 {
+		// ∫active dt = 2·2s + 1·1s = 5 transfer-seconds over 3 s.
+		t.Fatalf("mean active = %v, want 5/3", s.MeanActive)
+	}
+}
+
 func TestZeroMemoryFree(t *testing.T) {
 	env := sim.NewEnv()
 	n, _ := New(env, DefaultConfig())

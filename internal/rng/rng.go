@@ -25,13 +25,21 @@ func New(seed int64) *Stream {
 	return &Stream{r: rand.New(rand.NewSource(seed))}
 }
 
+// DeriveSeed returns the sub-seed for (seed, label): the value Derive
+// seeds its stream with. Exposed so schedulers (internal/sweep) can hand
+// out per-job seeds that depend only on the master seed and a stable job
+// label, never on execution order.
+func DeriveSeed(seed int64, label string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", seed, label)
+	return int64(h.Sum64())
+}
+
 // Derive returns a sub-stream keyed by the master seed and a label. The
 // same (seed, label) pair always yields the same stream, and distinct
 // labels yield well-separated streams.
 func Derive(seed int64, label string) *Stream {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d/%s", seed, label)
-	return New(int64(h.Sum64()))
+	return New(DeriveSeed(seed, label))
 }
 
 // Float64 returns a uniform draw in [0,1).

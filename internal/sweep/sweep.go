@@ -1,0 +1,148 @@
+// Package sweep is the deterministic parallel run-execution engine the
+// experiment harness fans independent simulations across cores with.
+//
+// A sweep is n independent jobs indexed 0..n-1. Each job receives a Point
+// carrying its index and a seed derived from the master seed and that
+// index — never from worker identity or completion order — so a job's
+// random universe is a pure function of (master seed, index). Results are
+// collected into a slice in submission (index) order, which makes the
+// rendered output of a sweep byte-identical whether it ran on 1 worker or
+// N. The trade-off is the usual one for parallel determinism: scheduling
+// may vary, observable results may not.
+//
+// Error handling: every job's error is captured at its index. The first
+// observed failure cancels the sweep — jobs not yet started are skipped,
+// jobs already running finish (simulations are not interruptible) — and
+// Run reports the lowest-indexed captured failure. Which later jobs got
+// skipped can depend on worker count; the success path never does.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"cloudmcp/internal/rng"
+)
+
+// Point identifies one job of a sweep: its submission index and the seed
+// derived for it.
+type Point struct {
+	// Index is the job's position in submission order, 0..n-1.
+	Index int
+	// Seed is rng.DeriveSeed(master, "point:<index>"): stable across
+	// worker counts and re-runs, independent for distinct indices.
+	Seed int64
+}
+
+// Progress is a snapshot handed to the OnProgress callback after each
+// job finishes (successfully or not).
+type Progress struct {
+	Done    int           // jobs finished so far
+	Total   int           // jobs in the sweep
+	Elapsed time.Duration // wall time since Run started
+}
+
+// Options configures one sweep.
+type Options struct {
+	// MasterSeed is the root of every per-point seed derivation.
+	MasterSeed int64
+	// Workers bounds the pool; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// OnProgress, when non-nil, is invoked after each job completes.
+	// Calls are serialized and Done is monotonically increasing, but the
+	// callback must not call back into the engine. Wall-clock Elapsed is
+	// inherently nondeterministic — surface it on stderr, never in
+	// rendered artifacts.
+	OnProgress func(Progress)
+}
+
+// PointError records which job of a sweep failed.
+type PointError struct {
+	Index int
+	Err   error
+}
+
+func (e *PointError) Error() string { return fmt.Sprintf("sweep: point %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the job's underlying error to errors.Is/As.
+func (e *PointError) Unwrap() error { return e.Err }
+
+// Run executes fn for each of n points on a bounded worker pool and
+// returns the results in submission order. On failure it returns the
+// lowest-indexed captured *PointError; slots for failed or skipped points
+// hold T's zero value.
+func Run[T any](opts Options, n int, fn func(Point) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sweep: negative job count %d", n)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	start := time.Now()
+
+	var (
+		mu       sync.Mutex
+		next     int  // next index to hand out
+		done     int  // jobs finished
+		canceled bool // stop handing out new indices
+		wg       sync.WaitGroup
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if canceled || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	finish := func(i int, err error) {
+		mu.Lock()
+		if err != nil {
+			errs[i] = err
+			canceled = true
+		}
+		done++
+		p := Progress{Done: done, Total: n, Elapsed: time.Since(start)}
+		cb := opts.OnProgress
+		if cb != nil {
+			// Called under the lock so observers see Done advance one
+			// step at a time with no interleaving.
+			cb(p)
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				v, err := fn(Point{Index: i, Seed: rng.DeriveSeed(opts.MasterSeed, fmt.Sprintf("point:%d", i))})
+				if err == nil {
+					results[i] = v
+				}
+				finish(i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return results, &PointError{Index: i, Err: err}
+		}
+	}
+	return results, nil
+}

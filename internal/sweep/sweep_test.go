@@ -1,0 +1,158 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cloudmcp/internal/rng"
+)
+
+func TestResultsInSubmissionOrder(t *testing.T) {
+	// Later points finish first (reverse sleep), yet results land at
+	// their submission index.
+	out, err := Run(Options{MasterSeed: 1, Workers: 8}, 8, func(p Point) (int, error) {
+		time.Sleep(time.Duration(8-p.Index) * time.Millisecond)
+		return p.Index * 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 10, 20, 30, 40, 50, 60, 70}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("out = %v, want %v", out, want)
+	}
+}
+
+func TestSeedsDerivedFromIndexNotWorker(t *testing.T) {
+	collect := func(workers int) []int64 {
+		seeds, err := Run(Options{MasterSeed: 42, Workers: workers}, 16, func(p Point) (int64, error) {
+			return p.Seed, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return seeds
+	}
+	serial := collect(1)
+	parallel := collect(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("seeds differ across worker counts:\n1: %v\n8: %v", serial, parallel)
+	}
+	for i, s := range serial {
+		if want := rng.DeriveSeed(42, fmt.Sprintf("point:%d", i)); s != want {
+			t.Fatalf("point %d seed = %d, want %d", i, s, want)
+		}
+	}
+	seen := map[int64]bool{}
+	for _, s := range serial {
+		if seen[s] {
+			t.Fatalf("duplicate derived seed %d", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestErrorCapturedAndReported(t *testing.T) {
+	boom := errors.New("boom")
+	out, err := Run(Options{MasterSeed: 1, Workers: 2}, 6, func(p Point) (int, error) {
+		if p.Index == 3 {
+			return 0, boom
+		}
+		return 1, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var pe *PointError
+	if !errors.As(err, &pe) || pe.Index != 3 {
+		t.Fatalf("err = %v, want PointError at index 3", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err %v does not unwrap to the job error", err)
+	}
+	if out[3] != 0 {
+		t.Fatalf("failed slot holds %v, want zero value", out[3])
+	}
+}
+
+func TestFirstFailureCancelsUnstartedJobs(t *testing.T) {
+	var ran int64
+	_, err := Run(Options{MasterSeed: 1, Workers: 1}, 10, func(p Point) (int, error) {
+		atomic.AddInt64(&ran, 1)
+		if p.Index == 2 {
+			return 0, errors.New("stop here")
+		}
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// One worker runs in index order: 0, 1, 2-fails, rest skipped.
+	if got := atomic.LoadInt64(&ran); got != 3 {
+		t.Fatalf("ran %d jobs, want 3", got)
+	}
+}
+
+func TestProgressMonotonicAndComplete(t *testing.T) {
+	var seen []Progress
+	_, err := Run(Options{
+		MasterSeed: 1,
+		Workers:    4,
+		OnProgress: func(p Progress) { seen = append(seen, p) }, // serialized by the engine
+	}, 9, func(p Point) (int, error) { return 0, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 9 {
+		t.Fatalf("got %d progress calls, want 9", len(seen))
+	}
+	for i, p := range seen {
+		if p.Done != i+1 || p.Total != 9 {
+			t.Fatalf("progress[%d] = %+v", i, p)
+		}
+		if p.Elapsed < 0 {
+			t.Fatalf("negative elapsed %v", p.Elapsed)
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	if out, err := Run(Options{}, 0, func(p Point) (int, error) { return 1, nil }); err != nil || len(out) != 0 {
+		t.Fatalf("n=0: out=%v err=%v", out, err)
+	}
+	if _, err := Run(Options{}, -1, func(p Point) (int, error) { return 1, nil }); err == nil {
+		t.Fatal("n=-1: expected error")
+	}
+	// More workers than jobs, and the zero-Options GOMAXPROCS default.
+	out, err := Run(Options{Workers: 64}, 2, func(p Point) (int, error) { return p.Index, nil })
+	if err != nil || !reflect.DeepEqual(out, []int{0, 1}) {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestParallelMatchesSerialResults(t *testing.T) {
+	work := func(p Point) (float64, error) {
+		// A deterministic function of the derived seed, like a simulation.
+		s := rng.New(p.Seed)
+		total := 0.0
+		for i := 0; i < 1000; i++ {
+			total += s.Float64()
+		}
+		return total, nil
+	}
+	serial, err := Run(Options{MasterSeed: 7, Workers: 1}, 32, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(Options{MasterSeed: 7, Workers: 8}, 32, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("serial != parallel:\n%v\n%v", serial, parallel)
+	}
+}
