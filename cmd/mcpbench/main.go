@@ -10,6 +10,7 @@
 //	mcpbench -only E6   # one experiment
 //	mcpbench -workers 1 # serial execution (same output, more wall time)
 //	mcpbench -progress  # completion ticks on stderr
+//	mcpbench -metrics   # instrumented probe at the E6 crossover point
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"cloudmcp/internal/core"
+	"cloudmcp/internal/report"
 )
 
 func main() {
@@ -27,8 +29,16 @@ func main() {
 	only := flag.String("only", "", "run a single experiment (E1..E16)")
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "print per-experiment completion to stderr")
+	showMetrics := flag.Bool("metrics", false, "run an instrumented closed-loop probe at the E6 crossover and print per-layer metrics")
+	metricsOut := flag.String("metrics-out", "", "write the probe's metrics snapshot to this file (.json, .csv, or ASCII)")
 	flag.Parse()
 
+	if *showMetrics || *metricsOut != "" {
+		if err := metricsProbe(*seed, *quick, *metricsOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *only != "" {
 		res, err := core.RunExperiment(*only, *seed, *quick, *workers)
 		if err != nil {
@@ -49,6 +59,42 @@ func main() {
 	if err := core.RunAllWith(os.Stdout, *seed, *quick, opts); err != nil {
 		fatal(err)
 	}
+}
+
+// metricsProbe reruns the linked-clone closed loop at the concurrency
+// where E6's throughput curve flattens (64 workers at default scale) with
+// the per-layer metrics registry enabled, and prints which resource is
+// saturating there. Metrics are pull-based, so the probe's numbers match
+// an uninstrumented run of the same configuration exactly.
+func metricsProbe(seed int64, quick bool, outPath string) error {
+	cfg := core.DefaultConfig(seed)
+	cfg.Director.FastProvisioning = true
+	cfg.Director.RebalanceThreshold = 0 // isolate provisioning, as E6 does
+	cfg.Metrics = true
+	clients, horizon := 64, 30*60.0
+	if quick {
+		horizon = 5 * 60.0
+	}
+	warmup := horizon / 10
+	res, err := core.RunClosedLoop(cfg, clients, horizon, warmup)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("metrics probe: linked clones, %d closed-loop workers, %.0f min horizon\n", clients, horizon/60)
+	fmt.Printf("deploys/hour %.1f  mean latency %.2fs  p95 %.2fs  errors %d\n\n",
+		res.DeploysPerHour, res.MeanLatencyS, res.P95LatencyS, res.Errors)
+	if err := res.Metrics.WriteASCII(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := report.BottleneckTable(res.Metrics, 10).Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nsaturating resource: %s\n", report.Bottleneck(res.Metrics))
+	if outPath != "" {
+		return res.Metrics.WriteFile(outPath)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -60,7 +61,7 @@ func main() {
 	for _, row := range analysis.OpMix(recs) {
 		mixT.AddRow(row.Kind, row.Count, 100*row.Frac, row.Errors)
 	}
-	mixT.Render(os.Stdout)
+	render(mixT)
 	fmt.Println()
 
 	b := analysis.MeasureBurstiness(recs, *binS, "")
@@ -69,7 +70,7 @@ func main() {
 	bT.AddRow("peak ops/bin", b.PeakPerBin)
 	bT.AddRow("peak:mean", b.PeakToMean)
 	bT.AddRow("index of dispersion", b.IndexOfDispersion)
-	bT.Render(os.Stdout)
+	render(bT)
 	fmt.Println()
 
 	ia := analysis.Interarrivals(recs, *kind)
@@ -80,7 +81,7 @@ func main() {
 		iaT.AddRow("median s", ia.Median())
 		iaT.AddRow("p95 s", ia.Percentile(95))
 		iaT.AddRow("cv", ia.CV())
-		iaT.Render(os.Stdout)
+		render(iaT)
 		fmt.Println()
 	}
 
@@ -94,7 +95,7 @@ func main() {
 		for _, row := range top {
 			oT.AddRow(row.Org, row.Ops, 100*row.Frac, row.Deploys, row.MeanDeployLatS, row.Errors)
 		}
-		oT.Render(os.Stdout)
+		render(oT)
 		fmt.Println()
 	}
 
@@ -104,7 +105,7 @@ func main() {
 		for h, v := range prof {
 			sSer.Add(float64(h), v)
 		}
-		sSer.Render(os.Stdout)
+		render(sSer)
 		fmt.Printf("day-periodicity r=%.2f (lag-24h autocorrelation of %s-binned arrivals)\n\n",
 			analysis.PeriodicityAt(recs, *binS, 86400), fmtDur(*binS))
 	}
@@ -119,7 +120,16 @@ func main() {
 		latT.AddRow(row.Kind, row.Count, row.MeanLatency, row.P50Latency, row.P95Latency,
 			bd.Queue, bd.Cell, bd.Mgmt, bd.DB, bd.Host, bd.Data, 100*analysis.ControlShare(bd))
 	}
-	latT.Render(os.Stdout)
+	render(latT)
+}
+
+// render writes a table or series to stdout, failing loudly instead of
+// letting a broken pipe or full disk truncate the artifact with exit
+// status 0.
+func render(t interface{ Render(w io.Writer) error }) {
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -88,7 +89,7 @@ func main() {
 		latT.AddRow(row.Kind, row.Count, row.MeanLatency, row.P50Latency, row.P95Latency,
 			b.Queue, b.Cell, b.Mgmt, b.DB, b.Host, b.Data)
 	}
-	latT.Render(os.Stdout)
+	render(latT)
 
 	// Compare against what the original trace experienced.
 	fmt.Println()
@@ -97,7 +98,16 @@ func main() {
 	repl := analysis.LatencySample(analysis.FilterKind(out, "deploy"), "")
 	cmpT.AddRow("recorded", orig.Count(), orig.Mean(), orig.Percentile(95))
 	cmpT.AddRow("replayed", repl.Count(), repl.Mean(), repl.Percentile(95))
-	cmpT.Render(os.Stdout)
+	render(cmpT)
+}
+
+// render writes a table or series to stdout, failing loudly instead of
+// letting a broken pipe or full disk truncate the artifact with exit
+// status 0.
+func render(t interface{ Render(w io.Writer) error }) {
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -29,6 +29,8 @@ func main() {
 		cells       = flag.Int("cells", 2, "director cells")
 		configPath  = flag.String("config", "", "JSON scenario file (overrides the topology flags)")
 		dumpConfig  = flag.Bool("dump-config", false, "print the default scenario JSON and exit")
+		showMetrics = flag.Bool("metrics", false, "collect and print per-layer resource metrics")
+		metricsOut  = flag.String("metrics-out", "", "write the metrics snapshot to this file (.json, .csv, or ASCII)")
 	)
 	flag.Parse()
 
@@ -60,6 +62,9 @@ func main() {
 		cfg.Director.Cells = *cells
 		cfg.Director.FastProvisioning = *fast
 	}
+	if *showMetrics || *metricsOut != "" {
+		cfg.Metrics = true
+	}
 	cloud, err := core.New(cfg)
 	if err != nil {
 		fatal(err)
@@ -78,7 +83,7 @@ func main() {
 	for _, row := range analysis.OpMix(recs) {
 		mixT.AddRow(row.Kind, row.Count, 100*row.Frac, row.Errors)
 	}
-	mixT.Render(os.Stdout)
+	render(mixT)
 	fmt.Println()
 
 	latT := report.NewTable("Latency by operation (successful)",
@@ -88,7 +93,7 @@ func main() {
 		latT.AddRow(row.Kind, row.Count, row.MeanLatency, row.P50Latency, row.P95Latency,
 			b.Queue, b.Cell, b.Mgmt, b.DB, b.Host, b.Data, 100*analysis.ControlShare(b))
 	}
-	latT.Render(os.Stdout)
+	render(latT)
 	fmt.Println()
 
 	burst := analysis.MeasureBurstiness(recs, 600, "")
@@ -106,17 +111,41 @@ func main() {
 	sumT.AddRow("mgmt DB utilization", rr.DB.Utilization)
 	sumT.AddRow("admission mean queue", rr.Admission.MeanQueueLen)
 	sumT.AddRow("task errors", cloud.Manager().TaskErrors())
-	sumT.Render(os.Stdout)
+	render(sumT)
 	fmt.Println()
 
 	btT := report.NewTable("Bottleneck attribution (most utilized first)", "stage", "utilization", "mean queue")
 	for _, st := range cloud.BottleneckReport() {
 		btT.AddRow(st.Stage, st.Utilization, st.MeanQueue)
 	}
-	btT.Render(os.Stdout)
+	render(btT)
+
+	if snap := cloud.MetricsSnapshot(); snap != nil {
+		if *showMetrics {
+			fmt.Println()
+			if err := snap.WriteASCII(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+			render(report.BottleneckTable(snap, 10))
+		}
+		if *metricsOut != "" {
+			if err := snap.WriteFile(*metricsOut); err != nil {
+				fatal(err)
+			}
+		}
+	}
 
 	if err := cloud.Inventory().CheckInvariants(); err != nil {
 		fatal(fmt.Errorf("post-run invariant check failed: %w", err))
+	}
+}
+
+// render writes a table to stdout, failing loudly instead of letting a
+// broken pipe or full disk truncate the artifact with exit status 0.
+func render(t *report.Table) {
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
 	}
 }
 

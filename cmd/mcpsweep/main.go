@@ -21,6 +21,7 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -283,8 +284,8 @@ func main() {
 			rec := append([]string{}, r.values...)
 			rec = append(rec,
 				strconv.FormatFloat(r.res.DeploysPerHour, 'g', -1, 64),
-				strconv.FormatFloat(r.res.MeanLatencyS, 'g', -1, 64),
-				strconv.FormatFloat(r.res.P95LatencyS, 'g', -1, 64),
+				csvLat(r.res, r.res.MeanLatencyS),
+				csvLat(r.res, r.res.P95LatencyS),
 				strconv.Itoa(r.res.Errors))
 			if err := w.Write(rec); err != nil {
 				fatal(err)
@@ -303,7 +304,8 @@ func main() {
 			for _, v := range r.values {
 				cells = append(cells, v)
 			}
-			cells = append(cells, r.res.DeploysPerHour, r.res.MeanLatencyS, r.res.P95LatencyS, r.res.Errors)
+			cells = append(cells, r.res.DeploysPerHour, tableLat(r.res, r.res.MeanLatencyS),
+				tableLat(r.res, r.res.P95LatencyS), r.res.Errors)
 			t.AddRow(cells...)
 		}
 		if err := t.Render(os.Stdout); err != nil {
@@ -313,6 +315,22 @@ func main() {
 	if *progress {
 		fmt.Fprintf(os.Stderr, "mcpsweep: %d points in %.1fs\n", total, time.Since(start).Seconds())
 	}
+}
+
+// A grid point that completed zero deploys has no latency sample; render
+// its latency columns as "n/a" rather than a misleading 0.
+func tableLat(res core.ClosedLoopResult, v float64) float64 {
+	if res.Deploys == 0 {
+		return math.NaN() // report.FormatFloat renders NaN as "n/a"
+	}
+	return v
+}
+
+func csvLat(res core.ClosedLoopResult, v float64) string {
+	if res.Deploys == 0 {
+		return "n/a"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 func fatal(err error) {

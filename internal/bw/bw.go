@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 
+	"cloudmcp/internal/metrics"
 	"cloudmcp/internal/sim"
 )
 
@@ -146,6 +147,31 @@ type EngineStats struct {
 	BusyFrac    float64 // fraction of virtual time with >=1 transfer
 	MeanActive  float64 // time-averaged concurrent transfers
 	Utilization float64 // delivered / available bandwidth
+}
+
+// RegisterMetrics registers the engine's busy-fraction and concurrency
+// statistics with the environment's metrics registry under the given
+// layer, keyed by the engine's name. Utilization is the fraction of
+// virtual time with at least one transfer in flight (the engine is work
+// conserving, so busy time equals delivered-bandwidth time); the
+// time-averaged transfer count stands in for queue length, and the
+// scalar series carries total megabytes moved. No-op when metrics are
+// disabled.
+func (e *Engine) RegisterMetrics(layer string) {
+	reg := e.env.Metrics()
+	if reg == nil {
+		return
+	}
+	reg.ResourceFunc(layer, e.name, func() metrics.ResourceSample {
+		s := e.Stats()
+		return metrics.ResourceSample{
+			Capacity:     1,
+			Utilization:  s.BusyFrac,
+			MeanQueueLen: s.MeanActive,
+			Grants:       s.Transfers,
+		}
+	})
+	reg.ScalarFunc(layer, e.name, "bytes_mb", func() float64 { return e.bytesMB })
 }
 
 // Stats returns statistics accumulated since the engine was created,

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"cloudmcp/internal/inventory"
+	"cloudmcp/internal/metrics"
 	"cloudmcp/internal/mgmt"
 	"cloudmcp/internal/ops"
 	"cloudmcp/internal/rng"
@@ -150,6 +151,13 @@ type Director struct {
 	rebalancing     bool
 	rebalances      []RebalanceEvent
 	liveVApps       map[inventory.ID]bool
+
+	// placementFallbacks counts linked-clone deploys that found no
+	// datastore holding a base for their template and fell back to
+	// general placement (forcing a shadow copy); stickyOverflows counts
+	// sticky-org placements whose pinned datastore was full.
+	placementFallbacks int64
+	stickyOverflows    int64
 }
 
 // New builds a director over an existing manager. The stream seeds cell
@@ -168,7 +176,30 @@ func New(env *sim.Env, mgr *mgmt.Manager, model *ops.CostModel, stream *rng.Stre
 	for i := 0; i < cfg.Cells; i++ {
 		d.cells = append(d.cells, sim.NewResource(env, fmt.Sprintf("cell%d", i), cfg.CellThreads))
 	}
+	d.registerMetrics(env.Metrics())
 	return d, nil
+}
+
+// registerMetrics wires per-cell station occupancy and the director's
+// reconfiguration counters (shadow copies, rebalance passes, placement
+// fallbacks) into the registry.
+func (d *Director) registerMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, c := range d.cells {
+		c.RegisterMetrics("clouddir")
+	}
+	scalar := func(metric string, fn func() float64) { reg.ScalarFunc("clouddir", "director", metric, fn) }
+	scalar("vapps_deployed", func() float64 { return float64(d.nextVApp) })
+	scalar("shadow_copies", func() float64 { return float64(d.shadowCopies) })
+	scalar("lease_expiries", func() float64 { return float64(d.leaseExpiries) })
+	scalar("rebalance_passes", func() float64 { return float64(d.rebalanceStarts) })
+	scalar("rebalance_moves", func() float64 { return float64(d.rebalanceMoves) })
+	scalar("rebalance_futile", func() float64 { return float64(d.rebalanceFutile) })
+	scalar("quota_rejects", func() float64 { return float64(d.quotaRejects) })
+	scalar("placement_fallbacks", func() float64 { return float64(d.placementFallbacks) })
+	scalar("sticky_overflows", func() float64 { return float64(d.stickyOverflows) })
 }
 
 // Manager returns the underlying virtualization manager.
@@ -240,6 +271,7 @@ func (d *Director) placeDatastore(needGB float64, org string) *inventory.Datasto
 			if d.effectiveFree(ds) >= needGB {
 				return ds
 			}
+			d.stickyOverflows++
 		}
 		// Pinned datastore is full: fall through to most-free.
 	}
@@ -442,6 +474,9 @@ func (d *Director) deployOne(p *sim.Proc, org, name string, tpl *inventory.Templ
 		// when every datastore with a base is full or a chain hits its
 		// limit, matching how directors avoid gratuitous shadow churn.
 		ds = d.placeNearBase(tpl, needGB)
+		if ds == nil {
+			d.placementFallbacks++
+		}
 	}
 	if ds == nil {
 		ds = d.placeDatastore(needGB, org)
@@ -641,28 +676,32 @@ func (d *Director) pickMovable(src, dst *inventory.Datastore) *inventory.VM {
 
 // Stats is the director's activity summary.
 type Stats struct {
-	VAppsDeployed   int64
-	ShadowCopies    int64
-	LeaseExpiries   int64
-	RebalanceStarts int64 // passes begun (completed passes appear in Rebalances)
-	RebalanceMoves  int64 // storage-migrations begun by the rebalancer
-	RebalanceFutile int64 // passes that found no movable candidate
-	QuotaRejects    int64 // vApp requests refused by tenant quota
-	Rebalances      []RebalanceEvent
-	Cells           []sim.ResourceStats
+	VAppsDeployed      int64
+	ShadowCopies       int64
+	LeaseExpiries      int64
+	RebalanceStarts    int64 // passes begun (completed passes appear in Rebalances)
+	RebalanceMoves     int64 // storage-migrations begun by the rebalancer
+	RebalanceFutile    int64 // passes that found no movable candidate
+	QuotaRejects       int64 // vApp requests refused by tenant quota
+	PlacementFallbacks int64 // linked-clone deploys with no existing base to land next to
+	StickyOverflows    int64 // sticky-org placements whose pinned datastore was full
+	Rebalances         []RebalanceEvent
+	Cells              []sim.ResourceStats
 }
 
 // Stats returns accumulated statistics.
 func (d *Director) Stats() Stats {
 	s := Stats{
-		VAppsDeployed:   d.nextVApp,
-		ShadowCopies:    d.shadowCopies,
-		LeaseExpiries:   d.leaseExpiries,
-		RebalanceStarts: d.rebalanceStarts,
-		RebalanceMoves:  d.rebalanceMoves,
-		RebalanceFutile: d.rebalanceFutile,
-		QuotaRejects:    d.quotaRejects,
-		Rebalances:      append([]RebalanceEvent(nil), d.rebalances...),
+		VAppsDeployed:      d.nextVApp,
+		ShadowCopies:       d.shadowCopies,
+		LeaseExpiries:      d.leaseExpiries,
+		RebalanceStarts:    d.rebalanceStarts,
+		RebalanceMoves:     d.rebalanceMoves,
+		RebalanceFutile:    d.rebalanceFutile,
+		QuotaRejects:       d.quotaRejects,
+		PlacementFallbacks: d.placementFallbacks,
+		StickyOverflows:    d.stickyOverflows,
+		Rebalances:         append([]RebalanceEvent(nil), d.rebalances...),
 	}
 	for _, c := range d.cells {
 		s.Cells = append(s.Cells, c.Stats())

@@ -37,7 +37,8 @@ type ConfigFile struct {
 	// (nil keeps the default).
 	CostCV *float64 `json:"costCV,omitempty"`
 
-	Record *bool `json:"record,omitempty"`
+	Record  *bool `json:"record,omitempty"`
+	Metrics *bool `json:"metrics,omitempty"`
 }
 
 // TopologyFile mirrors Topology.
@@ -298,6 +299,9 @@ func (f *ConfigFile) Apply() (Config, error) {
 	if f.Record != nil {
 		cfg.Record = *f.Record
 	}
+	if f.Metrics != nil {
+		cfg.Metrics = *f.Metrics
+	}
 	return cfg, nil
 }
 
@@ -307,6 +311,7 @@ func WriteDefaultConfig(w io.Writer, seed int64) error {
 	def := DefaultConfig(seed)
 	fast := def.Director.FastProvisioning
 	rec := def.Record
+	met := def.Metrics
 	thr := def.Director.RebalanceThreshold
 	f := ConfigFile{
 		Seed: seed,
@@ -331,7 +336,8 @@ func WriteDefaultConfig(w io.Writer, seed int64) error {
 			DeltaDiskGB: def.Storage.DeltaDiskGB, DeltaWriteMB: def.Storage.DeltaWriteMB,
 			MaxChainLen: def.Storage.MaxChainLen, SnapshotGB: def.Storage.SnapshotGB,
 		},
-		Record: &rec,
+		Record:  &rec,
+		Metrics: &met,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -22,6 +22,7 @@ import (
 	"cloudmcp/internal/clouddir"
 	"cloudmcp/internal/drs"
 	"cloudmcp/internal/inventory"
+	"cloudmcp/internal/metrics"
 	"cloudmcp/internal/mgmt"
 	"cloudmcp/internal/ops"
 	"cloudmcp/internal/rng"
@@ -93,6 +94,12 @@ type Config struct {
 	// Record controls whether a trace recorder is attached (on by
 	// default in DefaultConfig; disable for long capacity sweeps).
 	Record bool
+
+	// Metrics attaches a per-layer instrumentation registry (see
+	// internal/metrics). Off by default: the registry is pull-based, so
+	// enabling it never changes simulation outcomes, but disabling it
+	// keeps the hot path a single nil check.
+	Metrics bool
 }
 
 // DefaultConfig returns a fully-populated configuration for the given
@@ -132,6 +139,11 @@ func New(cfg Config) (*Cloud, error) {
 		model = ops.DefaultCostModel()
 	}
 	env := sim.NewEnv()
+	if cfg.Metrics {
+		// Must precede layer construction: each layer registers its
+		// resources with the env's registry as it is built.
+		env.SetMetrics(metrics.NewRegistry())
+	}
 	inv := inventory.New()
 	dc := inv.AddDatacenter("dc0")
 	cl := inv.AddCluster(dc, "cluster0")
@@ -191,6 +203,16 @@ func (c *Cloud) Director() *clouddir.Director { return c.dir }
 
 // Config returns the configuration the cloud was built with.
 func (c *Cloud) Config() Config { return c.cfg }
+
+// MetricsRegistry returns the per-layer metrics registry, or nil when
+// Config.Metrics is off.
+func (c *Cloud) MetricsRegistry() *metrics.Registry { return c.env.Metrics() }
+
+// MetricsSnapshot captures the per-layer metrics at the current virtual
+// time, or returns nil when Config.Metrics is off. Call after Run.
+func (c *Cloud) MetricsSnapshot() *metrics.Snapshot {
+	return c.env.Metrics().Snapshot(float64(c.env.Now()))
+}
 
 // Records returns the operation trace collected so far (nil when
 // recording is disabled).

@@ -12,6 +12,7 @@ import (
 	"io"
 
 	"cloudmcp/internal/analysis"
+	"cloudmcp/internal/metrics"
 	"cloudmcp/internal/ops"
 	"cloudmcp/internal/report"
 	"cloudmcp/internal/rng"
@@ -443,7 +444,11 @@ type ClosedLoopResult struct {
 	DeploysPerHour float64
 	MeanLatencyS   float64
 	P95LatencyS    float64
+	Deploys        int // successful deploys in the window
 	Errors         int // failed deploys in the window
+	// Metrics is the end-of-run per-layer snapshot, nil unless
+	// cfg.Metrics was set. It never affects the numbers above.
+	Metrics *metrics.Snapshot
 }
 
 // RunClosedLoop drives `clients` closed-loop deploy→destroy workers
@@ -486,7 +491,9 @@ func RunClosedLoop(cfg Config, clients int, horizonS, warmupS float64) (ClosedLo
 		DeploysPerHour: float64(len(deploys)) / (horizonS - warmupS) * Hour,
 		MeanLatencyS:   lat.Mean(),
 		P95LatencyS:    lat.Percentile(95),
+		Deploys:        len(deploys),
 		Errors:         len(all) - len(deploys),
+		Metrics:        c.MetricsSnapshot(),
 	}, nil
 }
 

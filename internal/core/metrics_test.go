@@ -1,0 +1,78 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"cloudmcp/internal/trace"
+	"cloudmcp/internal/workload"
+)
+
+// The metrics registry is pull-based and must be invisible to the
+// simulation: the same seed must produce byte-identical trace artifacts
+// with metrics on and off.
+func TestMetricsDoNotPerturbProfileRun(t *testing.T) {
+	run := func(withMetrics bool) []byte {
+		cfg := DefaultConfig(3)
+		cfg.Metrics = withMetrics
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.RunProfile(workload.CloudA(), 2*Hour); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteJSONL(&buf, c.Records()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	off := run(false)
+	on := run(true)
+	if !bytes.Equal(off, on) {
+		t.Fatalf("trace differs with metrics enabled: %d vs %d bytes", len(off), len(on))
+	}
+}
+
+func TestMetricsDoNotPerturbClosedLoop(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.Director.FastProvisioning = true
+	off, err := RunClosedLoop(cfg, 8, 600, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Metrics = true
+	on, err := RunClosedLoop(cfg, 8, 600, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Metrics == nil {
+		t.Fatal("cfg.Metrics did not produce a snapshot")
+	}
+	if off.Metrics != nil {
+		t.Fatal("metrics-off run produced a snapshot")
+	}
+	snap := on.Metrics
+	on.Metrics = nil
+	if on != off {
+		t.Fatalf("results differ with metrics enabled:\n on=%+v\noff=%+v", on, off)
+	}
+
+	// The snapshot must cover every layer the default stack builds.
+	layers := map[string]bool{}
+	for _, r := range snap.Resources {
+		layers[r.Layer] = true
+	}
+	for _, want := range []string{"mgmt", "clouddir", "host", "storage"} {
+		if !layers[want] {
+			t.Fatalf("snapshot missing layer %q (have %v)", want, layers)
+		}
+	}
+	if snap.AtS != 600 {
+		t.Fatalf("snapshot at t=%v, want 600", snap.AtS)
+	}
+	if len(snap.TopByUtilization(3)) == 0 {
+		t.Fatal("no resources to rank")
+	}
+}

@@ -26,12 +26,16 @@ type Agent struct {
 	waitTime float64
 }
 
-// NewAgent creates an agent with the given concurrency (slots > 0).
+// NewAgent creates an agent with the given concurrency (slots > 0). Its
+// slot occupancy registers with the environment's metrics registry (if
+// any) under the "host" layer.
 func NewAgent(env *sim.Env, hostID inventory.ID, name string, slots int) *Agent {
 	if slots <= 0 {
 		panic(fmt.Sprintf("hostsim: agent %q slots %d", name, slots))
 	}
-	return &Agent{hostID: hostID, slots: sim.NewResource(env, "hostagent:"+name, slots)}
+	a := &Agent{hostID: hostID, slots: sim.NewResource(env, "hostagent:"+name, slots)}
+	a.slots.RegisterMetrics("host")
+	return a
 }
 
 // HostID returns the host this agent serves.

@@ -1,0 +1,382 @@
+// Package metrics is a zero-dependency (standard library plus
+// internal/stats) instrumentation registry for the simulated control
+// plane: counters, gauges, time-weighted accumulators, latency
+// histograms, and pull-style probes over the resources every layer
+// already accounts for. Series are keyed by (layer, resource, metric) so
+// a snapshot can answer the paper's central question — *which* layer of
+// the management control plane saturates first — directly, instead of
+// inferring it from end-to-end latency breakdowns.
+//
+// Two properties are load-bearing:
+//
+//   - The disabled path is allocation-free: every constructor on a nil
+//     *Registry returns a nil instrument, and every instrument method is
+//     a nil-receiver no-op, so un-instrumented runs pay one pointer
+//     comparison per call site and nothing else.
+//   - Metrics observe, they never schedule: probes are only read at
+//     Snapshot time and push instruments only record values the model
+//     already computed, so enabling metrics cannot perturb virtual-time
+//     results.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"cloudmcp/internal/stats"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	key Key
+	n   int64
+}
+
+// Add increases the counter by d. No-op on a nil counter.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.n += d
+}
+
+// Inc increases the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Gauge is a last-value-wins instantaneous measurement.
+type Gauge struct {
+	key Key
+	v   float64
+}
+
+// Set records the current value. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Value returns the last value set (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// TimeWeighted accumulates the time integral of a piecewise-constant
+// value (occupancy, queue length) over virtual time, yielding its
+// time-weighted mean. Callers report each change via Update(now, v).
+type TimeWeighted struct {
+	key      Key
+	lastT    float64
+	lastV    float64
+	integral float64
+	maxV     float64
+	started  bool
+}
+
+// Update advances the integral to now using the previous value, then
+// records v as current. No-op on a nil accumulator; time must not go
+// backwards (updates in the past are ignored).
+func (t *TimeWeighted) Update(now, v float64) {
+	if t == nil {
+		return
+	}
+	if !t.started {
+		t.started = true
+		t.lastT = now
+	}
+	if dt := now - t.lastT; dt > 0 {
+		t.integral += dt * t.lastV
+		t.lastT = now
+	}
+	t.lastV = v
+	if v > t.maxV {
+		t.maxV = v
+	}
+}
+
+// Mean returns the time-weighted mean over [0, now], matching the
+// convention of sim.Resource.Stats (0 when nil, unused, or now <= 0).
+func (t *TimeWeighted) Mean(now float64) float64 {
+	if t == nil || !t.started || now <= 0 {
+		return 0
+	}
+	integral := t.integral
+	if now > t.lastT {
+		integral += (now - t.lastT) * t.lastV
+	}
+	return integral / now
+}
+
+// Max returns the largest value seen (0 for nil).
+func (t *TimeWeighted) Max() float64 {
+	if t == nil {
+		return 0
+	}
+	return t.maxV
+}
+
+// Histogram collects a latency-style distribution with exact
+// percentiles (backed by stats.Sample, matching the repository's
+// exact-storage convention).
+type Histogram struct {
+	key    Key
+	sample stats.Sample
+}
+
+// Observe records one value. No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.sample.Add(v)
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sample.Count()
+}
+
+// Key identifies one series: the model layer that owns it, the resource
+// within the layer, and the metric name.
+type Key struct {
+	Layer    string
+	Resource string
+	Metric   string
+}
+
+// ResourceSample is a probe's snapshot of one contended resource: the
+// utilization/queueing statistics the bottleneck report ranks. Probes
+// adapt sim.ResourceStats, bw.EngineStats, and friends to this form.
+type ResourceSample struct {
+	Capacity     int     // units of concurrency (0 when not applicable)
+	Utilization  float64 // mean fraction of capacity in use
+	MeanQueueLen float64 // time-averaged waiter count
+	MaxQueueLen  int
+	Grants       int64   // completed acquisitions / transfers
+	MeanWaitS    float64 // mean seconds queued per grant
+	TotalWaitS   float64 // total seconds spent queued (queue-wait share basis)
+}
+
+type resourceProbe struct {
+	layer, resource string
+	fn              func() ResourceSample
+}
+
+type scalarProbe struct {
+	key Key
+	fn  func() float64
+}
+
+// Registry holds every registered series. The zero value of *Registry
+// (nil) is a valid disabled registry: all constructors return nil
+// instruments and Snapshot returns nil. Registries are not safe for
+// concurrent use; like the simulation kernel they serve, all access is
+// single-threaded per run.
+type Registry struct {
+	counters  []*Counter
+	gauges    []*Gauge
+	weighted  []*TimeWeighted
+	hists     []*Histogram
+	resources []resourceProbe
+	scalars   []scalarProbe
+
+	index map[indexKey]int
+}
+
+type indexKey struct {
+	kind string // "counter", "gauge", ...
+	key  Key
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{index: make(map[indexKey]int)} }
+
+// Enabled reports whether the registry collects anything (false for nil).
+func (r *Registry) Enabled() bool { return r != nil }
+
+func (r *Registry) lookup(kind string, key Key) (int, bool) {
+	i, ok := r.index[indexKey{kind, key}]
+	return i, ok
+}
+
+func (r *Registry) remember(kind string, key Key, i int) {
+	r.index[indexKey{kind, key}] = i
+}
+
+// Counter returns the counter for the key, creating it on first use.
+// Returns nil (a valid no-op instrument) on a nil registry.
+func (r *Registry) Counter(layer, resource, metric string) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := Key{layer, resource, metric}
+	if i, ok := r.lookup("counter", key); ok {
+		return r.counters[i]
+	}
+	c := &Counter{key: key}
+	r.remember("counter", key, len(r.counters))
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Gauge returns the gauge for the key, creating it on first use.
+func (r *Registry) Gauge(layer, resource, metric string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := Key{layer, resource, metric}
+	if i, ok := r.lookup("gauge", key); ok {
+		return r.gauges[i]
+	}
+	g := &Gauge{key: key}
+	r.remember("gauge", key, len(r.gauges))
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
+// TimeWeighted returns the time-weighted accumulator for the key,
+// creating it on first use.
+func (r *Registry) TimeWeighted(layer, resource, metric string) *TimeWeighted {
+	if r == nil {
+		return nil
+	}
+	key := Key{layer, resource, metric}
+	if i, ok := r.lookup("weighted", key); ok {
+		return r.weighted[i]
+	}
+	t := &TimeWeighted{key: key}
+	r.remember("weighted", key, len(r.weighted))
+	r.weighted = append(r.weighted, t)
+	return t
+}
+
+// Histogram returns the histogram for the key, creating it on first use.
+func (r *Registry) Histogram(layer, resource, metric string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := Key{layer, resource, metric}
+	if i, ok := r.lookup("hist", key); ok {
+		return r.hists[i]
+	}
+	h := &Histogram{key: key}
+	r.remember("hist", key, len(r.hists))
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// ResourceFunc registers a pull probe for one contended resource; fn is
+// called at Snapshot time only. Registering the same (layer, resource)
+// twice replaces the earlier probe. No-op on a nil registry.
+func (r *Registry) ResourceFunc(layer, resource string, fn func() ResourceSample) {
+	if r == nil {
+		return
+	}
+	key := Key{Layer: layer, Resource: resource}
+	if i, ok := r.lookup("resource", key); ok {
+		r.resources[i].fn = fn
+		return
+	}
+	r.remember("resource", key, len(r.resources))
+	r.resources = append(r.resources, resourceProbe{layer: layer, resource: resource, fn: fn})
+}
+
+// ScalarFunc registers a pull probe for one scalar statistic the model
+// already accumulates (a count, a mean); fn is called at Snapshot time
+// only. Re-registering a key replaces the probe. No-op on a nil registry.
+func (r *Registry) ScalarFunc(layer, resource, metric string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	key := Key{layer, resource, metric}
+	if i, ok := r.lookup("scalar", key); ok {
+		r.scalars[i].fn = fn
+		return
+	}
+	r.remember("scalar", key, len(r.scalars))
+	r.scalars = append(r.scalars, scalarProbe{key: key, fn: fn})
+}
+
+// Snapshot evaluates every probe and instrument at virtual time nowS and
+// returns an immutable snapshot. Returns nil on a nil registry.
+func (r *Registry) Snapshot(nowS float64) *Snapshot {
+	if r == nil {
+		return nil
+	}
+	s := &Snapshot{AtS: nowS}
+	for _, p := range r.resources {
+		sample := p.fn()
+		s.Resources = append(s.Resources, ResourceRow{
+			Layer:          p.layer,
+			Resource:       p.resource,
+			ResourceSample: sample,
+		})
+	}
+	for _, p := range r.scalars {
+		s.Scalars = append(s.Scalars, ScalarRow{Layer: p.key.Layer, Resource: p.key.Resource, Metric: p.key.Metric, Value: p.fn()})
+	}
+	for _, c := range r.counters {
+		s.Scalars = append(s.Scalars, ScalarRow{Layer: c.key.Layer, Resource: c.key.Resource, Metric: c.key.Metric, Value: float64(c.n)})
+	}
+	for _, g := range r.gauges {
+		s.Scalars = append(s.Scalars, ScalarRow{Layer: g.key.Layer, Resource: g.key.Resource, Metric: g.key.Metric, Value: g.v})
+	}
+	for _, t := range r.weighted {
+		s.Scalars = append(s.Scalars, ScalarRow{Layer: t.key.Layer, Resource: t.key.Resource, Metric: t.key.Metric + ".mean", Value: t.Mean(nowS)})
+		s.Scalars = append(s.Scalars, ScalarRow{Layer: t.key.Layer, Resource: t.key.Resource, Metric: t.key.Metric + ".max", Value: t.maxV})
+	}
+	for _, h := range r.hists {
+		row := TimingRow{Layer: h.key.Layer, Resource: h.key.Resource, Metric: h.key.Metric, Count: h.sample.Count()}
+		if row.Count > 0 {
+			row.MeanS = h.sample.Mean()
+			row.P50S = h.sample.Percentile(50)
+			row.P95S = h.sample.Percentile(95)
+			row.MaxS = h.sample.Max()
+		} else {
+			// Zero-count distributions have no defined percentiles; NaN
+			// marks them so renderers print "n/a" instead of a fake 0.
+			row.MeanS, row.P50S, row.P95S, row.MaxS = math.NaN(), math.NaN(), math.NaN(), math.NaN()
+		}
+		s.Timings = append(s.Timings, row)
+	}
+	// Sort every section by key so snapshot artifacts are identical no
+	// matter what order the layers happened to register in.
+	sort.Slice(s.Resources, func(i, j int) bool {
+		if s.Resources[i].Layer != s.Resources[j].Layer {
+			return s.Resources[i].Layer < s.Resources[j].Layer
+		}
+		return s.Resources[i].Resource < s.Resources[j].Resource
+	})
+	scalarKey := func(r ScalarRow) Key { return Key{r.Layer, r.Resource, r.Metric} }
+	sort.Slice(s.Scalars, func(i, j int) bool { return keyLess(scalarKey(s.Scalars[i]), scalarKey(s.Scalars[j])) })
+	sort.Slice(s.Timings, func(i, j int) bool {
+		return keyLess(Key{s.Timings[i].Layer, s.Timings[i].Resource, s.Timings[i].Metric},
+			Key{s.Timings[j].Layer, s.Timings[j].Resource, s.Timings[j].Metric})
+	})
+	return s
+}
+
+func keyLess(a, b Key) bool {
+	if a.Layer != b.Layer {
+		return a.Layer < b.Layer
+	}
+	if a.Resource != b.Resource {
+		return a.Resource < b.Resource
+	}
+	return a.Metric < b.Metric
+}

@@ -21,6 +21,7 @@ import (
 	"cloudmcp/internal/bw"
 	"cloudmcp/internal/hostsim"
 	"cloudmcp/internal/inventory"
+	"cloudmcp/internal/metrics"
 	"cloudmcp/internal/mgmtdb"
 	"cloudmcp/internal/netsim"
 	"cloudmcp/internal/ops"
@@ -134,6 +135,11 @@ type Manager struct {
 
 	perKind map[ops.Kind]*kindStats
 	errs    int64
+
+	// Optional instrumentation (nil instruments no-op when metrics are
+	// disabled): inventory-lock wait and end-to-end task latency.
+	lockWait *metrics.Histogram
+	taskLat  *metrics.Histogram
 }
 
 type kindStats struct {
@@ -180,7 +186,31 @@ func New(env *sim.Env, inv *inventory.Inventory, pool *storage.Pool, model *ops.
 		}
 		m.network = network
 	}
+	m.registerMetrics(env.Metrics())
 	return m, nil
+}
+
+// registerMetrics wires the manager's serialization points — admission,
+// worker threads, the database, and inventory locking — into the
+// registry. All probes pull statistics the manager accumulates anyway,
+// so enabling metrics cannot change the event order.
+func (m *Manager) registerMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	m.admission.RegisterMetrics("mgmt")
+	m.threads.RegisterMetrics("mgmt")
+	if m.waldb == nil {
+		m.db.RegisterMetrics("mgmt")
+	}
+	if m.cfg.Granularity == GranularityCoarse {
+		m.global.RegisterMetrics("mgmt")
+	}
+	m.lockWait = reg.Histogram("mgmt", "inventory.locks", "wait_s")
+	m.taskLat = reg.Histogram("mgmt", "tasks", "latency_s")
+	reg.ScalarFunc("mgmt", "tasks", "completed", func() float64 { return float64(m.nextTaskID) })
+	reg.ScalarFunc("mgmt", "tasks", "errors", func() float64 { return float64(m.errs) })
+	reg.ScalarFunc("mgmt", "inventory.locks", "live", func() float64 { return float64(len(m.locks)) })
 }
 
 // NetworkStats returns migration-network statistics, or (zero, false)
@@ -320,6 +350,7 @@ func (m *Manager) Execute(p *sim.Proc, spec ExecSpec) *Task {
 
 	// 2. Inventory locks.
 	wait, release := m.acquireLocks(p, spec.LockTargets)
+	m.lockWait.Observe(wait)
 	task.Breakdown.Queue += wait
 	defer release()
 
@@ -405,6 +436,7 @@ func (m *Manager) record(t *Task) {
 	ks.latency.Add(t.Latency())
 	ks.sum = ks.sum.Add(t.Breakdown)
 	ks.count++
+	m.taskLat.Observe(t.Latency())
 	if t.Err != nil {
 		m.errs++
 	}

@@ -69,17 +69,33 @@ type DB struct {
 	groupHist stats.Moments
 }
 
-// New builds a database.
+// New builds a database. Pool and WAL-flush occupancy register with the
+// environment's metrics registry (if any) under the "mgmtdb" layer.
 func New(env *sim.Env, cfg Config) (*DB, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &DB{
+	db := &DB{
 		env:   env,
 		cfg:   cfg,
 		conns: sim.NewResource(env, "db.conns", cfg.Conns),
 		flush: sim.NewResource(env, "db.flush", 1),
-	}, nil
+	}
+	if reg := env.Metrics(); reg != nil {
+		db.conns.RegisterMetrics("mgmtdb")
+		db.flush.RegisterMetrics("mgmtdb")
+		reg.ScalarFunc("mgmtdb", "wal", "commits", func() float64 { return float64(db.commits) })
+		reg.ScalarFunc("mgmtdb", "wal", "flushes", func() float64 { return float64(db.flushes) })
+		reg.ScalarFunc("mgmtdb", "wal", "rows", func() float64 { return float64(db.rows) })
+		reg.ScalarFunc("mgmtdb", "wal", "mean_commit_lat_s", func() float64 { return db.commitLat.Mean() })
+		reg.ScalarFunc("mgmtdb", "wal", "mean_group_size", func() float64 {
+			if db.flushes == 0 {
+				return 0
+			}
+			return db.groupHist.Mean()
+		})
+	}
+	return db, nil
 }
 
 // Config returns the database's configuration.

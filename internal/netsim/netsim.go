@@ -26,12 +26,15 @@ type Network struct {
 	link *bw.Engine
 }
 
-// New builds a network.
+// New builds a network. The link's occupancy registers with the
+// environment's metrics registry (if any) under the "net" layer.
 func New(env *sim.Env, cfg Config) (*Network, error) {
 	if cfg.MBps <= 0 {
 		return nil, fmt.Errorf("netsim: bandwidth %v", cfg.MBps)
 	}
-	return &Network{link: bw.NewEngine(env, "vmotion", cfg.MBps)}, nil
+	n := &Network{link: bw.NewEngine(env, "vmotion", cfg.MBps)}
+	n.link.RegisterMetrics("net")
+	return n, nil
 }
 
 // MigrateMemory transfers memMB of guest memory for a live migration,

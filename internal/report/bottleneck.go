@@ -1,0 +1,50 @@
+package report
+
+// Bottleneck attribution: turn a per-layer metrics snapshot into the
+// "what saturates first" table the paper's analysis keeps coming back
+// to. Ranking is by utilization; the queue-wait share column attributes
+// the run's total queueing delay to each resource, which separates "busy
+// but keeping up" from "busy and backing everything up".
+
+import (
+	"fmt"
+
+	"cloudmcp/internal/metrics"
+)
+
+// BottleneckTable ranks the top-k resources of a snapshot by
+// utilization. Columns: layer, resource, capacity, utilization, mean and
+// max queue length, grants, mean wait, and this resource's share of all
+// queue-wait seconds in the snapshot. Returns nil for a nil snapshot.
+func BottleneckTable(s *metrics.Snapshot, k int) *Table {
+	if s == nil {
+		return nil
+	}
+	top := s.TopByUtilization(k)
+	totalWait := s.TotalQueueWaitS()
+	t := NewTable(fmt.Sprintf("bottleneck attribution: top %d resources by utilization", len(top)),
+		"layer", "resource", "cap", "util", "mean q", "max q", "grants", "mean wait s", "wait share %")
+	for _, r := range top {
+		share := 0.0
+		if totalWait > 0 {
+			share = 100 * r.TotalWaitS / totalWait
+		}
+		t.AddRow(r.Layer, r.Resource, r.Capacity, r.Utilization, r.MeanQueueLen,
+			r.MaxQueueLen, r.Grants, r.MeanWaitS, share)
+	}
+	return t
+}
+
+// Bottleneck names the snapshot's most utilized resource as
+// "layer/resource", or "" for a nil or empty snapshot — the one-line
+// answer to "what is saturating".
+func Bottleneck(s *metrics.Snapshot) string {
+	if s == nil {
+		return ""
+	}
+	top := s.TopByUtilization(1)
+	if len(top) == 0 {
+		return ""
+	}
+	return top[0].Layer + "/" + top[0].Resource
+}

@@ -6,6 +6,7 @@ package report
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
@@ -38,8 +39,13 @@ func (t *Table) AddRow(cells ...any) {
 }
 
 // FormatFloat renders a float compactly: fixed 2-3 significant decimals
-// for human-scale magnitudes, scientific elsewhere.
+// for human-scale magnitudes, scientific elsewhere. NaN — the marker for
+// "no observations" throughout the metrics and report layers — renders
+// as "n/a" rather than a misleading 0.
 func FormatFloat(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
 	av := v
 	if av < 0 {
 		av = -av

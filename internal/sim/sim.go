@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+
+	"cloudmcp/internal/metrics"
 )
 
 // debugEvents enables a low-overhead event-rate trace for diagnosing
@@ -86,6 +88,11 @@ type Env struct {
 	// nproc counts live (started, not yet finished) processes, for leak
 	// detection in tests.
 	nproc int
+
+	// metrics is the optional instrumentation registry resources and
+	// model layers report into; nil (the default) disables collection at
+	// zero cost.
+	metrics *metrics.Registry
 }
 
 // NewEnv returns an empty environment with the clock at zero.
@@ -95,6 +102,16 @@ func NewEnv() *Env {
 
 // Now returns the current virtual time in seconds.
 func (e *Env) Now() Time { return e.now }
+
+// SetMetrics attaches an instrumentation registry. It must be called
+// before the model layers are built so their resources can register;
+// resources created earlier are not retroactively instrumented.
+func (e *Env) SetMetrics(reg *metrics.Registry) { e.metrics = reg }
+
+// Metrics returns the attached registry, or nil when metrics are
+// disabled. The nil registry is safe to use: every constructor on it
+// returns a no-op instrument.
+func (e *Env) Metrics() *metrics.Registry { return e.metrics }
 
 // Schedule registers fn to run after delay seconds of virtual time.
 // A negative delay panics: events cannot be scheduled in the past.
@@ -358,6 +375,7 @@ type ResourceStats struct {
 	Utilization  float64 // mean fraction of capacity in use
 	MeanQueueLen float64 // time-averaged waiter count
 	MeanWait     float64 // mean seconds spent queued per grant
+	TotalWait    float64 // total seconds spent queued across all grants
 	MaxQueueLen  int
 }
 
@@ -365,7 +383,7 @@ type ResourceStats struct {
 // start of the simulation, evaluated at the current virtual time.
 func (r *Resource) Stats() ResourceStats {
 	r.account()
-	s := ResourceStats{Name: r.name, Capacity: r.capacity, Grants: r.grants, MaxQueueLen: r.maxQueue}
+	s := ResourceStats{Name: r.name, Capacity: r.capacity, Grants: r.grants, TotalWait: r.waitTotal, MaxQueueLen: r.maxQueue}
 	if r.env.now > 0 {
 		s.Utilization = r.busyIntegral / (r.env.now * float64(r.capacity))
 		s.MeanQueueLen = r.qIntegral / r.env.now
@@ -374,6 +392,28 @@ func (r *Resource) Stats() ResourceStats {
 		s.MeanWait = r.waitTotal / float64(r.grants)
 	}
 	return s
+}
+
+// RegisterMetrics registers the resource's busy-time and queue-time
+// statistics with the environment's metrics registry under the given
+// layer, keyed by the resource's name. No-op when metrics are disabled.
+func (r *Resource) RegisterMetrics(layer string) {
+	reg := r.env.metrics
+	if reg == nil {
+		return
+	}
+	reg.ResourceFunc(layer, r.name, func() metrics.ResourceSample {
+		s := r.Stats()
+		return metrics.ResourceSample{
+			Capacity:     s.Capacity,
+			Utilization:  s.Utilization,
+			MeanQueueLen: s.MeanQueueLen,
+			MaxQueueLen:  s.MaxQueueLen,
+			Grants:       s.Grants,
+			MeanWaitS:    s.MeanWait,
+			TotalWaitS:   s.TotalWait,
+		}
+	})
 }
 
 // Queue is an unbounded FIFO channel between processes: Put never blocks,

@@ -120,9 +120,11 @@ func (s *Sample) ensureSorted() {
 
 // Percentile returns the p-th percentile (p in [0,100]) using linear
 // interpolation between closest ranks. It returns 0 with no observations
-// and panics for p outside [0,100].
+// and panics for p outside [0,100] or NaN (NaN compares false against
+// every bound, so without the explicit check it would silently fall
+// through to an arbitrary rank).
 func (s *Sample) Percentile(p float64) float64 {
-	if p < 0 || p > 100 {
+	if math.IsNaN(p) || p < 0 || p > 100 {
 		panic(fmt.Sprintf("stats: percentile %v", p))
 	}
 	if len(s.xs) == 0 {

@@ -111,6 +111,21 @@ func TestSamplePercentilePanics(t *testing.T) {
 	s.Percentile(101)
 }
 
+func TestSamplePercentileRejectsNaN(t *testing.T) {
+	// NaN compares false against both range bounds, so without an
+	// explicit check it would slip past validation and index an
+	// arbitrary rank. It must panic like any other out-of-range p.
+	var s Sample
+	s.Add(1)
+	s.Add(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for NaN percentile")
+		}
+	}()
+	s.Percentile(math.NaN())
+}
+
 func TestSampleCDFMonotone(t *testing.T) {
 	f := func(raw []int16) bool {
 		if len(raw) == 0 {

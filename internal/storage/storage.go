@@ -66,12 +66,15 @@ func DefaultPolicy() Policy {
 	return Policy{DeltaDiskGB: 1.0, DeltaWriteMB: 64, MaxChainLen: 30, SnapshotGB: 2.0}
 }
 
-// NewPool builds an engine for every datastore currently in inv.
+// NewPool builds an engine for every datastore currently in inv. Each
+// engine's bandwidth occupancy registers with the environment's metrics
+// registry (if any) under the "storage" layer.
 func NewPool(env *sim.Env, inv *inventory.Inventory) *Pool {
 	p := &Pool{env: env, inv: inv, engines: make(map[inventory.ID]*Engine), Policy: DefaultPolicy()}
 	for _, id := range inv.Datastores() {
 		ds := inv.Datastore(id)
 		p.engines[id] = NewEngine(env, ds.Name, ds.BandwidthMBps)
+		p.engines[id].RegisterMetrics("storage")
 	}
 	return p
 }
@@ -79,6 +82,7 @@ func NewPool(env *sim.Env, inv *inventory.Inventory) *Pool {
 // AddDatastore registers an engine for a datastore created after the pool.
 func (p *Pool) AddDatastore(ds *inventory.Datastore) {
 	p.engines[ds.ID] = NewEngine(p.env, ds.Name, ds.BandwidthMBps)
+	p.engines[ds.ID].RegisterMetrics("storage")
 }
 
 // Engine returns the engine for datastore id, or nil.

@@ -62,6 +62,48 @@ func TestCSVRoundTrip(t *testing.T) {
 	}
 }
 
+func TestRoundTripHostileErrStrings(t *testing.T) {
+	// Error strings flow verbatim from the model into the trace; commas,
+	// quotes, and newlines must survive both codecs without corrupting
+	// neighboring records.
+	recs := []Record{
+		{TaskID: 1, Kind: "deploy", Org: "orgA", Submit: 1, End: 2, Latency: 1,
+			Err: `quota exceeded: org "orgA", cell 2`},
+		{TaskID: 2, Kind: "deploy", Org: "orgB", Submit: 3, End: 4, Latency: 1,
+			Err: "multi\nline\nfailure"},
+		{TaskID: 3, Kind: "destroy", Org: "orgC", Submit: 5, End: 6, Latency: 1,
+			Err: `comma, "quoted", and
+a newline together`},
+		{TaskID: 4, Kind: "powerOn", Org: "orgC", Submit: 7, End: 8, Latency: 1},
+	}
+	for name, codec := range map[string]struct {
+		write func(*bytes.Buffer, []Record) error
+		read  func(*bytes.Buffer) ([]Record, error)
+	}{
+		"csv": {func(b *bytes.Buffer, r []Record) error { return WriteCSV(b, r) },
+			func(b *bytes.Buffer) ([]Record, error) { return ReadCSV(b) }},
+		"jsonl": {func(b *bytes.Buffer, r []Record) error { return WriteJSONL(b, r) },
+			func(b *bytes.Buffer) ([]Record, error) { return ReadJSONL(b) }},
+	} {
+		var buf bytes.Buffer
+		if err := codec.write(&buf, recs); err != nil {
+			t.Fatalf("%s write: %v", name, err)
+		}
+		got, err := codec.read(&buf)
+		if err != nil {
+			t.Fatalf("%s read: %v", name, err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("%s: %d records, want %d", name, len(got), len(recs))
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				t.Fatalf("%s record %d: %+v != %+v", name, i, got[i], recs[i])
+			}
+		}
+	}
+}
+
 func TestCSVRejectsBadHeader(t *testing.T) {
 	if _, err := ReadCSV(strings.NewReader("a,b,c\n1,2,3\n")); err == nil {
 		t.Fatal("expected header error")
