@@ -2,15 +2,18 @@
 // reconstructed paper tables/figures plus the extensions) and prints
 // every artifact. Experiments and their internal parameter sweeps run in
 // parallel across -workers cores; output is byte-identical for any
-// worker count at a fixed seed.
+// worker count at a fixed seed. E17 (fault injection) is opt-in via
+// -only E17 or -faults and never changes the default artifact.
 //
-//	mcpbench            # full-scale horizons (minutes of wall time)
-//	mcpbench -quick     # CI-scale horizons (seconds)
-//	mcpbench -seed 7    # different random universe
-//	mcpbench -only E6   # one experiment
-//	mcpbench -workers 1 # serial execution (same output, more wall time)
-//	mcpbench -progress  # completion ticks on stderr
-//	mcpbench -metrics   # instrumented probe at the E6 crossover point
+//	mcpbench                 # full-scale horizons (minutes of wall time)
+//	mcpbench -quick          # CI-scale horizons (seconds)
+//	mcpbench -seed 7         # different random universe
+//	mcpbench -only E6        # one experiment (E1..E17)
+//	mcpbench -workers 1      # serial execution (same output, more wall time)
+//	mcpbench -progress       # completion ticks on stderr
+//	mcpbench -metrics        # instrumented probe at the E6 crossover point
+//	mcpbench -faults         # E17 goodput-under-faults, default rate grid
+//	mcpbench -fault-rate 0.3 # E17 sweeping rates {0, 0.075, 0.15, 0.3}
 package main
 
 import (
@@ -26,13 +29,21 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "master random seed")
 	quick := flag.Bool("quick", false, "run shortened horizons")
-	only := flag.String("only", "", "run a single experiment (E1..E16)")
+	only := flag.String("only", "", "run a single experiment (E1..E17)")
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "print per-experiment completion to stderr")
 	showMetrics := flag.Bool("metrics", false, "run an instrumented closed-loop probe at the E6 crossover and print per-layer metrics")
 	metricsOut := flag.String("metrics-out", "", "write the probe's metrics snapshot to this file (.json, .csv, or ASCII)")
+	withFaults := flag.Bool("faults", false, "run E17: goodput and latency under injected control-plane faults")
+	faultRate := flag.Float64("fault-rate", 0, "highest injected fault rate for E17's sweep grid (0 = default grid; implies -faults)")
 	flag.Parse()
 
+	if *withFaults || *faultRate > 0 {
+		if err := faultsBench(*seed, *quick, *workers, *faultRate); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *showMetrics || *metricsOut != "" {
 		if err := metricsProbe(*seed, *quick, *metricsOut); err != nil {
 			fatal(err)
@@ -59,6 +70,26 @@ func main() {
 	if err := core.RunAllWith(os.Stdout, *seed, *quick, opts); err != nil {
 		fatal(err)
 	}
+}
+
+// faultsBench runs E17 — closed-loop deploy goodput, tail latency, and
+// retry amplification versus injected fault rate, plus an HA restart
+// storm against the same faulty control plane. rate > 0 replaces the
+// default grid with {0, rate/4, rate/2, rate}.
+func faultsBench(seed int64, quick bool, workers int, rate float64) error {
+	scale := 1.0
+	if quick {
+		scale = 0.1
+	}
+	p := core.E17Params{Seed: seed, HorizonS: 1800 * scale, Workers: workers}
+	if rate > 0 {
+		p.FaultRates = []float64{0, rate / 4, rate / 2, rate}
+	}
+	res, err := core.RunE17(p)
+	if err != nil {
+		return err
+	}
+	return res.Render(os.Stdout)
 }
 
 // metricsProbe reruns the linked-clone closed loop at the concurrency

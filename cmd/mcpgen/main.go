@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -50,20 +51,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
-	switch {
-	case strings.HasSuffix(*out, ".csv"):
-		err = trace.WriteCSV(f, recs)
-	case strings.HasSuffix(*out, ".jsonl"):
-		err = trace.WriteJSONL(f, recs)
-	default:
-		err = fmt.Errorf("unknown trace extension in %q (want .jsonl or .csv)", *out)
-	}
-	if err != nil {
+	if err := writeTrace(f, *out, recs); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("mcpgen: wrote %d records (%d vApp requests over %.1f h of %s) to %s\n",
 		len(recs), st.Arrivals, *hours, profile.Name, *out)
+}
+
+// writeTrace writes recs to wc in the format implied by name's extension
+// and closes it. A Close error is reported, not swallowed: the OS may
+// defer write-back until close (NFS, full disks), so a deferred
+// unchecked Close could announce success for a truncated trace.
+func writeTrace(wc io.WriteCloser, name string, recs []trace.Record) error {
+	var err error
+	switch {
+	case strings.HasSuffix(name, ".csv"):
+		err = trace.WriteCSV(wc, recs)
+	case strings.HasSuffix(name, ".jsonl"):
+		err = trace.WriteJSONL(wc, recs)
+	default:
+		err = fmt.Errorf("unknown trace extension in %q (want .jsonl or .csv)", name)
+	}
+	if cerr := wc.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("close %s: %w", name, cerr)
+	}
+	return err
 }
 
 func fatal(err error) {

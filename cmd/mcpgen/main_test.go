@@ -1,0 +1,68 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cloudmcp/internal/trace"
+)
+
+// failingCloser succeeds on every write and fails on Close — the shape
+// of a full-disk or NFS write-back error that only surfaces at close
+// time. The old deferred `f.Close()` dropped that error and mcpgen
+// exited 0 with a truncated trace on disk.
+type failingCloser struct {
+	wrote    int
+	closed   bool
+	closeErr error
+}
+
+func (f *failingCloser) Write(p []byte) (int, error) { f.wrote += len(p); return len(p), nil }
+func (f *failingCloser) Close() error                { f.closed = true; return f.closeErr }
+
+func sampleRecords() []trace.Record {
+	return []trace.Record{{TaskID: 1, Kind: "deploy", Submit: 0, End: 2.5, Latency: 2.5}}
+}
+
+func TestWriteTraceReportsCloseError(t *testing.T) {
+	fc := &failingCloser{closeErr: errors.New("disk quota exceeded")}
+	err := writeTrace(fc, "out.jsonl", sampleRecords())
+	if err == nil {
+		t.Fatal("Close error was swallowed")
+	}
+	if !strings.Contains(err.Error(), "disk quota exceeded") {
+		t.Fatalf("error %q does not carry the Close failure", err)
+	}
+	if !fc.closed {
+		t.Fatal("writer was not closed")
+	}
+	if fc.wrote == 0 {
+		t.Fatal("no trace bytes written before close")
+	}
+}
+
+func TestWriteTraceSucceedsAndCloses(t *testing.T) {
+	for _, name := range []string{"out.jsonl", "out.csv"} {
+		fc := &failingCloser{}
+		if err := writeTrace(fc, name, sampleRecords()); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !fc.closed {
+			t.Fatalf("%s: writer left open", name)
+		}
+	}
+}
+
+// A write error must win over a close error: the first failure is the
+// root cause.
+func TestWriteTraceUnknownExtensionStillCloses(t *testing.T) {
+	fc := &failingCloser{closeErr: errors.New("also broken")}
+	err := writeTrace(fc, "out.xml", sampleRecords())
+	if err == nil || !strings.Contains(err.Error(), "unknown trace extension") {
+		t.Fatalf("got %v, want unknown-extension error", err)
+	}
+	if !fc.closed {
+		t.Fatal("writer leaked on the error path")
+	}
+}

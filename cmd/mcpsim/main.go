@@ -14,6 +14,7 @@ import (
 
 	"cloudmcp/internal/analysis"
 	"cloudmcp/internal/core"
+	"cloudmcp/internal/faults"
 	"cloudmcp/internal/report"
 	"cloudmcp/internal/workload"
 )
@@ -31,8 +32,16 @@ func main() {
 		dumpConfig  = flag.Bool("dump-config", false, "print the default scenario JSON and exit")
 		showMetrics = flag.Bool("metrics", false, "collect and print per-layer resource metrics")
 		metricsOut  = flag.String("metrics-out", "", "write the metrics snapshot to this file (.json, .csv, or ASCII)")
+		withFaults  = flag.Bool("faults", false, "inject control-plane faults (preset at -fault-rate) and retry with backoff")
+		faultRate   = flag.Float64("fault-rate", 0.1, "base transient-failure probability for the fault preset (implies -faults)")
 	)
 	flag.Parse()
+	faultsOn := *withFaults
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fault-rate" {
+			faultsOn = true
+		}
+	})
 
 	if *dumpConfig {
 		if err := core.WriteDefaultConfig(os.Stdout, *seed); err != nil {
@@ -61,6 +70,10 @@ func main() {
 		cfg.Topology.Datastores = *datastores
 		cfg.Director.Cells = *cells
 		cfg.Director.FastProvisioning = *fast
+	}
+	if faultsOn {
+		fc := faults.Preset(*faultRate)
+		cfg.Faults = &fc
 	}
 	if *showMetrics || *metricsOut != "" {
 		cfg.Metrics = true
@@ -119,6 +132,22 @@ func main() {
 		btT.AddRow(st.Stage, st.Utilization, st.MeanQueue)
 	}
 	render(btT)
+
+	if faultsOn {
+		fmt.Println()
+		rs := cloud.Manager().RetryStats()
+		rtT := report.NewTable(fmt.Sprintf("Fault injection (rate %.2f) and retries", *faultRate), "metric", "value")
+		rtT.AddRow("attempts", rs.Attempts)
+		rtT.AddRow("injected faults", rs.Faults)
+		rtT.AddRow("retries", rs.Retries)
+		rtT.AddRow("give-ups (attempts exhausted)", rs.GiveUps)
+		rtT.AddRow("give-ups (deadline)", rs.Deadline)
+		render(rtT)
+		if gt := report.GoodputTable(cloud.GoodputReport()); gt != nil {
+			fmt.Println()
+			render(gt)
+		}
+	}
 
 	if snap := cloud.MetricsSnapshot(); snap != nil {
 		if *showMetrics {

@@ -13,6 +13,7 @@ import (
 
 	"cloudmcp/internal/clouddir"
 	"cloudmcp/internal/drs"
+	"cloudmcp/internal/faults"
 	"cloudmcp/internal/mgmt"
 	"cloudmcp/internal/mgmtdb"
 	"cloudmcp/internal/netsim"
@@ -39,6 +40,30 @@ type ConfigFile struct {
 
 	Record  *bool `json:"record,omitempty"`
 	Metrics *bool `json:"metrics,omitempty"`
+
+	Faults *FaultsFile `json:"faults,omitempty"`
+}
+
+// FaultsFile configures fault injection (internal/faults) and the
+// manager's retry policy. Rate seeds every layer from faults.Preset;
+// the per-layer blocks then override whole layers.
+type FaultsFile struct {
+	Rate    float64       `json:"rate,omitempty"`
+	Host    *faults.Layer `json:"host,omitempty"`
+	DB      *faults.Layer `json:"db,omitempty"`
+	Net     *faults.Layer `json:"net,omitempty"`
+	Storage *faults.Layer `json:"storage,omitempty"`
+	Retry   *RetryFile    `json:"retry,omitempty"`
+}
+
+// RetryFile mirrors mgmt.RetryPolicy; zero fields keep
+// mgmt.DefaultRetryPolicy().
+type RetryFile struct {
+	MaxAttempts  int     `json:"maxAttempts,omitempty"`
+	BaseBackoffS float64 `json:"baseBackoffS,omitempty"`
+	Multiplier   float64 `json:"multiplier,omitempty"`
+	Jitter       float64 `json:"jitter,omitempty"`
+	DeadlineS    float64 `json:"deadlineS,omitempty"`
 }
 
 // TopologyFile mirrors Topology.
@@ -301,6 +326,44 @@ func (f *ConfigFile) Apply() (Config, error) {
 	}
 	if f.Metrics != nil {
 		cfg.Metrics = *f.Metrics
+	}
+	if ff := f.Faults; ff != nil {
+		fc := faults.Preset(ff.Rate)
+		if ff.Host != nil {
+			fc.Host = *ff.Host
+		}
+		if ff.DB != nil {
+			fc.DB = *ff.DB
+		}
+		if ff.Net != nil {
+			fc.Net = *ff.Net
+		}
+		if ff.Storage != nil {
+			fc.Storage = *ff.Storage
+		}
+		if err := fc.Validate(); err != nil {
+			return Config{}, err
+		}
+		cfg.Faults = &fc
+		if r := ff.Retry; r != nil {
+			pol := mgmt.DefaultRetryPolicy()
+			if r.MaxAttempts != 0 {
+				pol.MaxAttempts = r.MaxAttempts
+			}
+			if r.BaseBackoffS != 0 {
+				pol.BaseBackoff = r.BaseBackoffS
+			}
+			if r.Multiplier != 0 {
+				pol.Multiplier = r.Multiplier
+			}
+			if r.Jitter != 0 {
+				pol.DeterministicJitter = r.Jitter
+			}
+			if r.DeadlineS != 0 {
+				pol.Deadline = r.DeadlineS
+			}
+			cfg.Mgmt.Retry = pol
+		}
 	}
 	return cfg, nil
 }

@@ -21,10 +21,12 @@ import (
 
 	"cloudmcp/internal/clouddir"
 	"cloudmcp/internal/drs"
+	"cloudmcp/internal/faults"
 	"cloudmcp/internal/inventory"
 	"cloudmcp/internal/metrics"
 	"cloudmcp/internal/mgmt"
 	"cloudmcp/internal/ops"
+	"cloudmcp/internal/report"
 	"cloudmcp/internal/rng"
 	"cloudmcp/internal/sim"
 	"cloudmcp/internal/storage"
@@ -100,6 +102,13 @@ type Config struct {
 	// enabling it never changes simulation outcomes, but disabling it
 	// keeps the hot path a single nil check.
 	Metrics bool
+
+	// Faults, when non-nil, injects deterministic transient failures and
+	// latency stalls (see internal/faults); New builds a per-cloud
+	// injector seeded from Seed and, unless Mgmt.Retry is already set,
+	// applies mgmt.DefaultRetryPolicy(). Nil — or a config whose rates
+	// are all zero — reproduces pre-faults behaviour bit-for-bit.
+	Faults *faults.Config
 }
 
 // DefaultConfig returns a fully-populated configuration for the given
@@ -161,7 +170,18 @@ func New(cfg Config) (*Cloud, error) {
 	}
 	pool := storage.NewPool(env, inv)
 	pool.Policy = cfg.Storage
-	mgr, err := mgmt.New(env, inv, pool, model, rng.Derive(cfg.Seed, "mgmt"), cfg.Mgmt)
+	mcfg := cfg.Mgmt
+	if cfg.Faults != nil {
+		inj, err := faults.New(cfg.Seed, *cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		mcfg.Faults = inj
+		if mcfg.Retry == (mgmt.RetryPolicy{}) {
+			mcfg.Retry = mgmt.DefaultRetryPolicy()
+		}
+	}
+	mgr, err := mgmt.New(env, inv, pool, model, rng.Derive(cfg.Seed, "mgmt"), mcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -213,6 +233,11 @@ func (c *Cloud) MetricsRegistry() *metrics.Registry { return c.env.Metrics() }
 func (c *Cloud) MetricsSnapshot() *metrics.Snapshot {
 	return c.env.Metrics().Snapshot(float64(c.env.Now()))
 }
+
+// GoodputReport adapts the manager's per-kind goodput accounting to the
+// report renderer's rows. Meaningful under fault injection; without it
+// every task costs exactly one attempt.
+func (c *Cloud) GoodputReport() []report.GoodputRow { return goodputRows(c.mgr.Goodput()) }
 
 // Records returns the operation trace collected so far (nil when
 // recording is disabled).

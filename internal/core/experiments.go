@@ -13,6 +13,7 @@ import (
 
 	"cloudmcp/internal/analysis"
 	"cloudmcp/internal/metrics"
+	"cloudmcp/internal/mgmt"
 	"cloudmcp/internal/ops"
 	"cloudmcp/internal/report"
 	"cloudmcp/internal/rng"
@@ -444,8 +445,14 @@ type ClosedLoopResult struct {
 	DeploysPerHour float64
 	MeanLatencyS   float64
 	P95LatencyS    float64
+	P99LatencyS    float64
 	Deploys        int // successful deploys in the window
 	Errors         int // failed deploys in the window
+	// Retry and Goodput account for fault-injection activity over the
+	// whole run (not just the post-warmup window); both are zero/nil
+	// without cfg.Faults.
+	Retry   mgmt.RetryStats
+	Goodput []mgmt.GoodputRow
 	// Metrics is the end-of-run per-layer snapshot, nil unless
 	// cfg.Metrics was set. It never affects the numbers above.
 	Metrics *metrics.Snapshot
@@ -487,14 +494,20 @@ func RunClosedLoop(cfg Config, clients int, horizonS, warmupS float64) (ClosedLo
 	all := analysis.FilterKind(recs, ops.KindDeploy.String())
 	deploys := analysis.FilterOK(all)
 	lat := analysis.LatencySample(deploys, "")
-	return ClosedLoopResult{
+	res := ClosedLoopResult{
 		DeploysPerHour: float64(len(deploys)) / (horizonS - warmupS) * Hour,
 		MeanLatencyS:   lat.Mean(),
 		P95LatencyS:    lat.Percentile(95),
+		P99LatencyS:    lat.Percentile(99),
 		Deploys:        len(deploys),
 		Errors:         len(all) - len(deploys),
 		Metrics:        c.MetricsSnapshot(),
-	}, nil
+	}
+	if cfg.Faults != nil {
+		res.Retry = c.Manager().RetryStats()
+		res.Goodput = c.Manager().Goodput()
+	}
+	return res, nil
 }
 
 // closedLoopDeploys runs `workers` closed-loop deploy→destroy clients for

@@ -10,6 +10,7 @@ import (
 	"io"
 
 	"cloudmcp/internal/analysis"
+	"cloudmcp/internal/faults"
 	"cloudmcp/internal/ha"
 	"cloudmcp/internal/mgmt"
 	"cloudmcp/internal/ops"
@@ -24,6 +25,9 @@ type E16Params struct {
 	RatesPerHour []float64 // background deploy load, default {0, 2000, 6000}
 	Restarts     int       // HA restart concurrency, default 32
 	HorizonS     float64   // default 30 min (failure at 1/3)
+	// Faults injects control-plane faults into every run (E17's "storm
+	// on an already-faulty control plane" leg); nil keeps E16 as-is.
+	Faults *faults.Config
 }
 
 // E16Point is one load level's recovery outcome.
@@ -60,6 +64,7 @@ func RunE16(p E16Params) (*E16Result, error) {
 		cfg.Director.RebalanceThreshold = 0
 		cfg.Mgmt.Threads = 4 // paper-era manager, as in E7/E14
 		cfg.Mgmt.DBConns = 2
+		cfg.Faults = p.Faults
 		c, err := New(cfg)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,183 @@
+package core
+
+// Extension experiment E17: control-plane goodput under injected
+// faults. The predecessor work (and the reliability literature around
+// it) argues that failures and retries are first-class management load;
+// E17 measures it directly. A closed-loop deploy workload runs against
+// clouds with increasing transient-fault rates (package faults) and the
+// manager's retry policy turns every injected failure into repeated
+// admission/thread/DB/lock work — so goodput (successful deploys/hour)
+// falls faster than the fault rate alone explains, and tail latency
+// grows with retry backoff. A second leg re-runs the E16 restart storm
+// against an already-faulty control plane: recovery time stretches
+// exactly when failures are already rampant.
+//
+// E17 is an opt-in extension: it is reachable through RunExperiment /
+// mcpbench -only E17 / mcpbench -faults, but not part of the default
+// E1..E16 suite, so pre-faults artifacts stay byte-identical.
+
+import (
+	"fmt"
+	"io"
+
+	"cloudmcp/internal/faults"
+	"cloudmcp/internal/mgmt"
+	"cloudmcp/internal/report"
+	"cloudmcp/internal/sweep"
+)
+
+// E17Params configures the goodput-under-faults experiment.
+type E17Params struct {
+	Seed       int64
+	FaultRates []float64 // injected fault-rate grid, default {0, 0.05, 0.1, 0.2}
+	Clients    int       // closed-loop workers, default 32 (the E6 crossover)
+	HorizonS   float64   // default 30 min
+	WarmupS    float64   // default HorizonS/10
+	Workers    int       // sweep pool bound (0 = GOMAXPROCS)
+
+	StormRatePerHour float64 // background load for the storm leg, default 2000
+}
+
+// E17Mode is one provisioning mode's outcome at one fault rate.
+type E17Mode struct {
+	GoodPerHour   float64 // successful deploys/hour in the window
+	P99S          float64 // deploy p99 latency in the window
+	Amplification float64 // attempts per task, whole run
+	GiveUps       int64   // tasks abandoned by the retry policy, whole run
+}
+
+// E17Point is one fault rate's closed-loop outcome, full vs linked.
+type E17Point struct {
+	Rate         float64
+	Full, Linked E17Mode
+
+	// goodput holds the linked-clone per-kind rows; rendered for the
+	// highest swept rate.
+	goodput []mgmt.GoodputRow
+
+	// Storm is the E16 restart-storm leg at this fault rate.
+	Storm E16Point
+}
+
+// E17Result holds the sweep.
+type E17Result struct {
+	Points           []E17Point
+	StormRatePerHour float64
+}
+
+// RunE17 sweeps the fault-rate grid; each point runs the closed loop in
+// both provisioning modes plus one restart storm, all on clouds with
+// fault injection and the default retry policy enabled.
+func RunE17(p E17Params) (*E17Result, error) {
+	if len(p.FaultRates) == 0 {
+		p.FaultRates = []float64{0, 0.05, 0.1, 0.2}
+	}
+	if p.Clients == 0 {
+		p.Clients = 32
+	}
+	if p.HorizonS == 0 {
+		p.HorizonS = 30 * 60
+	}
+	if p.WarmupS == 0 {
+		p.WarmupS = p.HorizonS / 10
+	}
+	if p.StormRatePerHour == 0 {
+		p.StormRatePerHour = 2000
+	}
+	mode := func(r ClosedLoopResult) E17Mode {
+		m := E17Mode{GoodPerHour: r.DeploysPerHour, P99S: r.P99LatencyS, GiveUps: r.Retry.GiveUps}
+		var tasks, attempts int64
+		for _, row := range r.Goodput {
+			tasks += row.Tasks
+			attempts += row.Attempts
+		}
+		if tasks > 0 {
+			m.Amplification = float64(attempts) / float64(tasks)
+		}
+		return m
+	}
+	points, err := sweep.Run(sweep.Options{MasterSeed: p.Seed, Workers: p.Workers}, len(p.FaultRates),
+		func(sp sweep.Point) (E17Point, error) {
+			rate := p.FaultRates[sp.Index]
+			fc := faults.Preset(rate)
+			pt := E17Point{Rate: rate}
+			for _, fast := range []bool{false, true} {
+				cfg := DefaultConfig(p.Seed)
+				cfg.Director.FastProvisioning = fast
+				cfg.Director.RebalanceThreshold = 0 // isolate provisioning
+				cfg.Faults = &fc
+				r, err := RunClosedLoop(cfg, p.Clients, p.HorizonS, p.WarmupS)
+				if err != nil {
+					return pt, fmt.Errorf("E17 rate %.2f fast=%v: %w", rate, fast, err)
+				}
+				if fast {
+					pt.Linked = mode(r)
+					pt.goodput = r.Goodput
+				} else {
+					pt.Full = mode(r)
+				}
+			}
+			storm, err := RunE16(E16Params{
+				Seed:         p.Seed,
+				RatesPerHour: []float64{p.StormRatePerHour},
+				HorizonS:     p.HorizonS,
+				Faults:       &fc,
+			})
+			if err != nil {
+				return pt, fmt.Errorf("E17 rate %.2f storm: %w", rate, err)
+			}
+			pt.Storm = storm.Points[0]
+			return pt, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &E17Result{Points: points, StormRatePerHour: p.StormRatePerHour}, nil
+}
+
+// Render writes the goodput table, the per-kind goodput breakdown at the
+// highest fault rate, and the storm table.
+func (r *E17Result) Render(w io.Writer) error {
+	t := report.NewTable("E17: closed-loop deploy goodput vs injected fault rate",
+		"fault rate", "full good/h", "full p99 s", "full amp", "linked good/h", "linked p99 s", "linked amp", "giveups")
+	for _, pt := range r.Points {
+		t.AddRow(pt.Rate, pt.Full.GoodPerHour, pt.Full.P99S, pt.Full.Amplification,
+			pt.Linked.GoodPerHour, pt.Linked.P99S, pt.Linked.Amplification,
+			pt.Full.GiveUps+pt.Linked.GiveUps)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if n := len(r.Points); n > 0 {
+		last := r.Points[n-1]
+		if gt := report.GoodputTable(goodputRows(last.goodput)); gt != nil {
+			gt.Title = fmt.Sprintf("E17: linked-clone goodput by operation at fault rate %.2f", last.Rate)
+			if err := gt.Render(w); err != nil {
+				return err
+			}
+		}
+	}
+	st := report.NewTable(
+		fmt.Sprintf("E17: HA restart storm on a faulty control plane (%.0f req/h)", r.StormRatePerHour),
+		"fault rate", "recovery s", "restarted", "unplaced", "bg deploys done")
+	for _, pt := range r.Points {
+		st.AddRow(pt.Rate, pt.Storm.RecoveryS, pt.Storm.Restarted, pt.Storm.Unplaced, pt.Storm.DeploysDone)
+	}
+	return st.Render(w)
+}
+
+// goodputRows adapts the manager's per-kind goodput accounting to the
+// report renderer's layer-agnostic rows.
+func goodputRows(rows []mgmt.GoodputRow) []report.GoodputRow {
+	out := make([]report.GoodputRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, report.GoodputRow{
+			Kind:     r.Kind.String(),
+			Tasks:    r.Tasks,
+			OK:       r.OK,
+			Attempts: r.Attempts,
+			GiveUps:  r.GiveUps,
+		})
+	}
+	return out
+}

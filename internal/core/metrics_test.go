@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
 	"cloudmcp/internal/trace"
@@ -55,7 +56,7 @@ func TestMetricsDoNotPerturbClosedLoop(t *testing.T) {
 	}
 	snap := on.Metrics
 	on.Metrics = nil
-	if on != off {
+	if !reflect.DeepEqual(on, off) {
 		t.Fatalf("results differ with metrics enabled:\n on=%+v\noff=%+v", on, off)
 	}
 

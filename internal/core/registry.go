@@ -80,6 +80,18 @@ func Experiments() []Experiment {
 	}
 }
 
+// Extensions returns opt-in experiments that are not part of the
+// default suite. E17 enables fault injection, so folding it into RunAll
+// would grow the default artifact; it runs via RunExperiment (mcpbench
+// -only E17) or mcpbench -faults instead.
+func Extensions() []Experiment {
+	return []Experiment{
+		{"E17", func(seed int64, scale float64, workers int) (Renderable, error) {
+			return RunE17(E17Params{Seed: seed, HorizonS: 1800 * scale, Workers: workers})
+		}},
+	}
+}
+
 // RunExperiment runs one experiment by name at its registry-default
 // horizon.
 func RunExperiment(name string, seed int64, quick bool, workers int) (Renderable, error) {
@@ -87,7 +99,7 @@ func RunExperiment(name string, seed int64, quick bool, workers int) (Renderable
 	if quick {
 		scale = 0.1
 	}
-	for _, e := range Experiments() {
+	for _, e := range append(Experiments(), Extensions()...) {
 		if e.Name == name {
 			r, err := e.Run(seed, scale, workers)
 			if err != nil {
@@ -96,7 +108,7 @@ func RunExperiment(name string, seed int64, quick bool, workers int) (Renderable
 			return r, nil
 		}
 	}
-	return nil, fmt.Errorf("unknown experiment %q (want E1..E16)", name)
+	return nil, fmt.Errorf("unknown experiment %q (want E1..E17)", name)
 }
 
 // RunAllOptions tunes the parallel suite run.

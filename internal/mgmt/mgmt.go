@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"cloudmcp/internal/bw"
+	"cloudmcp/internal/faults"
 	"cloudmcp/internal/hostsim"
 	"cloudmcp/internal/inventory"
 	"cloudmcp/internal/metrics"
@@ -78,6 +79,52 @@ type Config struct {
 	// fair-share link (counted as data-plane time) instead of being
 	// charged as isolated host-agent work.
 	Network *netsim.Config
+
+	// Faults, when set, injects deterministic transient failures and
+	// latency stalls into the host, DB, network, and storage stages (see
+	// package faults). Build one injector per simulation. With no
+	// injector — or an injector whose rates are all zero — Execute's
+	// event sequence is bit-for-bit what it was before faults existed.
+	Faults *faults.Injector
+
+	// Retry is the policy applied to injected transient failures. The
+	// zero value means "one attempt, no retries"; it is only consulted
+	// when Faults is set.
+	Retry RetryPolicy
+}
+
+// RetryPolicy governs how Execute responds to injected transient
+// failures. Failed attempts hold the admission slot (and re-take locks,
+// threads, DB connections, and host slots) — retries amplify
+// control-plane load rather than silently re-queueing.
+type RetryPolicy struct {
+	// MaxAttempts caps total attempts per task (<=1 means no retries).
+	MaxAttempts int
+	// BaseBackoff is the delay in seconds before the first retry.
+	BaseBackoff float64
+	// Multiplier grows the backoff geometrically per retry (values < 1
+	// are treated as 1).
+	Multiplier float64
+	// DeterministicJitter stretches each backoff by up to this fraction,
+	// using a seed-derived per-(task, attempt) draw — deterministic, like
+	// everything else.
+	DeterministicJitter float64
+	// Deadline bounds a task's total latency in seconds: a retry whose
+	// backoff would exceed it gives up instead. 0 = no deadline.
+	Deadline float64
+}
+
+// DefaultRetryPolicy mirrors a production task manager: up to 4
+// attempts, 1 s exponential backoff with 25% jitter, 10-minute deadline.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseBackoff: 1, Multiplier: 2, DeterministicJitter: 0.25, Deadline: 600}
+}
+
+func (r RetryPolicy) validate() error {
+	if r.MaxAttempts < 0 || r.BaseBackoff < 0 || r.Multiplier < 0 || r.DeterministicJitter < 0 || r.Deadline < 0 {
+		return fmt.Errorf("mgmt: negative retry policy %+v", r)
+	}
+	return nil
 }
 
 // DefaultConfig mirrors a mid-size production management server.
@@ -95,7 +142,7 @@ func (c Config) validate() error {
 	if c.Threads <= 0 || c.DBConns <= 0 || c.MaxInFlight <= 0 || c.HostSlots <= 0 {
 		return fmt.Errorf("mgmt: non-positive config %+v", c)
 	}
-	return nil
+	return c.Retry.validate()
 }
 
 // Task is the record of one executed management operation.
@@ -107,6 +154,9 @@ type Task struct {
 	End       sim.Time
 	Breakdown ops.Breakdown
 	Err       error
+	// Attempts counts execution attempts (1 without fault injection;
+	// retries of injected transient failures push it higher).
+	Attempts int
 }
 
 // Latency returns the task's end-to-end seconds.
@@ -135,6 +185,7 @@ type Manager struct {
 
 	perKind map[ops.Kind]*kindStats
 	errs    int64
+	retry   RetryStats
 
 	// Optional instrumentation (nil instruments no-op when metrics are
 	// disabled): inventory-lock wait and end-to-end task latency.
@@ -143,9 +194,54 @@ type Manager struct {
 }
 
 type kindStats struct {
-	latency stats.Sample
-	sum     ops.Breakdown
-	count   int64
+	latency  stats.Sample
+	sum      ops.Breakdown
+	count    int64
+	errors   int64
+	attempts int64
+	giveups  int64
+}
+
+// RetryStats aggregates the retry/fault activity across every task.
+type RetryStats struct {
+	Attempts int64 // execution attempts (>= tasks completed)
+	Faults   int64 // injected transient failures observed
+	Retries  int64 // attempts beyond each task's first
+	GiveUps  int64 // tasks abandoned (attempts exhausted or deadline)
+	Deadline int64 // give-ups caused by the deadline (included in GiveUps)
+}
+
+// RetryStats returns the manager-wide retry/fault counters.
+func (m *Manager) RetryStats() RetryStats { return m.retry }
+
+// GoodputRow is one operation kind's goodput accounting under fault
+// injection: how many attempts the completed tasks cost and how many
+// tasks were abandoned.
+type GoodputRow struct {
+	Kind     ops.Kind
+	Tasks    int64 // tasks completed (including abandoned ones)
+	OK       int64 // tasks that finished without error
+	Attempts int64 // execution attempts consumed
+	GiveUps  int64 // tasks abandoned by the retry policy
+}
+
+// Goodput returns per-kind goodput rows in canonical kind order.
+func (m *Manager) Goodput() []GoodputRow {
+	var out []GoodputRow
+	for _, k := range ops.Kinds() {
+		ks, ok := m.perKind[k]
+		if !ok {
+			continue
+		}
+		out = append(out, GoodputRow{
+			Kind:     k,
+			Tasks:    ks.count,
+			OK:       ks.count - ks.errors,
+			Attempts: ks.attempts,
+			GiveUps:  ks.giveups,
+		})
+	}
+	return out
 }
 
 // New builds a manager over the given inventory, storage pool, and cost
@@ -211,6 +307,21 @@ func (m *Manager) registerMetrics(reg *metrics.Registry) {
 	reg.ScalarFunc("mgmt", "tasks", "completed", func() float64 { return float64(m.nextTaskID) })
 	reg.ScalarFunc("mgmt", "tasks", "errors", func() float64 { return float64(m.errs) })
 	reg.ScalarFunc("mgmt", "inventory.locks", "live", func() float64 { return float64(len(m.locks)) })
+	if m.cfg.Faults != nil {
+		// Retry/failure/goodput series exist only when faults can occur,
+		// keeping uninstrumented snapshots identical to pre-faults runs.
+		reg.ScalarFunc("mgmt", "retry", "attempts", func() float64 { return float64(m.retry.Attempts) })
+		reg.ScalarFunc("mgmt", "retry", "faults", func() float64 { return float64(m.retry.Faults) })
+		reg.ScalarFunc("mgmt", "retry", "retries", func() float64 { return float64(m.retry.Retries) })
+		reg.ScalarFunc("mgmt", "retry", "giveups", func() float64 { return float64(m.retry.GiveUps) })
+		reg.ScalarFunc("mgmt", "retry", "goodput_frac", func() float64 {
+			if m.nextTaskID == 0 {
+				return 0
+			}
+			return float64(m.nextTaskID-m.errs) / float64(m.nextTaskID)
+		})
+		m.cfg.Faults.RegisterMetrics(reg)
+	}
 }
 
 // NetworkStats returns migration-network statistics, or (zero, false)
@@ -333,6 +444,15 @@ type ExecSpec struct {
 // completed task. The task's Start is the request's Submit time when
 // stamped (so upstream cell queueing counts toward latency); spec.Pre
 // seeds the breakdown with that upstream time.
+//
+// With a fault injector configured, an attempt can transiently fail in
+// the DB, host, network, or storage stage; Execute then backs off per
+// the retry policy and re-runs the attempt — re-taking locks, threads,
+// DB connections, and host slots while still holding the admission slot,
+// so retries amplify control-plane load instead of vanishing into a
+// queue. Every injection point precedes the data-plane Body, so a
+// successful inventory mutation is never re-run. Without an injector
+// (or with all-zero rates) the event sequence is unchanged.
 func (m *Manager) Execute(p *sim.Proc, spec ExecSpec) *Task {
 	start := p.Now()
 	if spec.Req.Submit > 0 && sim.Time(spec.Req.Submit) <= start {
@@ -340,13 +460,106 @@ func (m *Manager) Execute(p *sim.Proc, spec ExecSpec) *Task {
 	}
 	task := &Task{ID: m.nextTaskID, Req: spec.Req, HostID: spec.HostID, Start: start, Breakdown: spec.Pre}
 	m.nextTaskID++
+	// One stage-time sample per task, shared by every attempt: retries
+	// redo the same work, and the disabled-faults draw sequence stays
+	// exactly one Sample per task.
 	sample := m.model.Sample(m.stream, spec.Req.Kind)
 
-	// 1. Global admission.
+	// 1. Global admission — acquired once and held across all attempts
+	// (including backoff waits): a retrying task keeps its in-flight slot.
 	t0 := p.Now()
 	m.admission.Acquire(p, 1)
 	task.Breakdown.Queue += p.Now() - t0
 	defer m.admission.Release(1)
+
+	maxAttempts := 1
+	if m.cfg.Faults != nil && m.cfg.Retry.MaxAttempts > 1 {
+		maxAttempts = m.cfg.Retry.MaxAttempts
+	}
+	for attempt := 1; ; attempt++ {
+		task.Attempts = attempt
+		m.retry.Attempts++
+		m.kindStatsFor(spec.Req.Kind).attempts++
+		flt := m.runAttempt(p, task, spec, sample, attempt)
+		if flt == nil {
+			break // success, or a permanent (body) error — no retry
+		}
+		m.retry.Faults++
+		if attempt >= maxAttempts {
+			task.Err = fmt.Errorf("mgmt: giving up after %d attempts: %w", attempt, flt)
+			m.giveUp(task, false)
+			break
+		}
+		backoff := m.backoff(task.ID, attempt)
+		if d := m.cfg.Retry.Deadline; d > 0 && p.Now()-task.Start+backoff >= d {
+			task.Err = fmt.Errorf("mgmt: retry deadline %.0fs exceeded after %d attempts: %w", d, attempt, flt)
+			m.giveUp(task, true)
+			break
+		}
+		m.retry.Retries++
+		p.Sleep(backoff)
+		task.Breakdown.Queue += backoff
+	}
+
+	task.End = p.Now()
+	m.record(task)
+	return task
+}
+
+func (m *Manager) kindStatsFor(k ops.Kind) *kindStats {
+	ks, ok := m.perKind[k]
+	if !ok {
+		ks = &kindStats{}
+		m.perKind[k] = ks
+	}
+	return ks
+}
+
+func (m *Manager) giveUp(task *Task, deadline bool) {
+	m.retry.GiveUps++
+	if deadline {
+		m.retry.Deadline++
+	}
+	m.kindStatsFor(task.Req.Kind).giveups++
+}
+
+// backoff computes the delay before retrying after the attempt-th
+// failure: BaseBackoff · Multiplier^(attempt-1), stretched by the
+// deterministic per-(task, attempt) jitter draw.
+func (m *Manager) backoff(taskID int64, attempt int) float64 {
+	b := m.cfg.Retry.BaseBackoff
+	if b <= 0 {
+		b = 1
+	}
+	mult := m.cfg.Retry.Multiplier
+	if mult < 1 {
+		mult = 1
+	}
+	for i := 1; i < attempt; i++ {
+		b *= mult
+	}
+	if j := m.cfg.Retry.DeterministicJitter; j > 0 {
+		b *= 1 + j*m.cfg.Faults.JitterU(taskID, attempt)
+	}
+	return b
+}
+
+// runAttempt executes one attempt: locks → pre-processing → host agent →
+// data-plane body → post-processing. It returns a non-nil *faults.Error
+// when an injected transient failure aborted the attempt; permanent body
+// errors are stored on the task directly (no retry). Locks are released
+// when the attempt ends, so a backing-off task holds only its admission
+// slot.
+//
+// Injection points all sit before the Body runs: the pre-DB stage (a
+// commit failure or stall), the host-agent stage (agent failure or
+// stall), and the data plane's entry (network degradation for migrations
+// over netsim, storage latency spikes otherwise). A failed attempt still
+// pays for everything up to the failure — that wasted work is the retry
+// amplification E17 measures. Post stages are past the point of no
+// return and are never injected.
+func (m *Manager) runAttempt(p *sim.Proc, task *Task, spec ExecSpec, sample ops.StageSample, attempt int) *faults.Error {
+	kind := spec.Req.Kind.String()
 
 	// 2. Inventory locks.
 	wait, release := m.acquireLocks(p, spec.LockTargets)
@@ -359,7 +572,11 @@ func (m *Manager) Execute(p *sim.Proc, spec ExecSpec) *Task {
 	writes := m.model.Stage[spec.Req.Kind].DBWrites
 	preWrites := (writes*6 + 9) / 10
 	m.mgmtStage(p, task, sample.Mgmt*0.6)
-	m.dbStage(p, task, sample.DB*0.6, preWrites)
+	dbOut := m.cfg.Faults.Decide(faults.LayerDB, kind, task.ID, attempt)
+	m.dbStage(p, task, sample.DB*0.6, preWrites, dbOut.StallS)
+	if dbOut.Fail {
+		return &faults.Error{Layer: faults.LayerDB, Op: kind, Attempt: attempt}
+	}
 
 	// 4. Host-agent execution.
 	if spec.HostID != inventory.None {
@@ -369,13 +586,29 @@ func (m *Manager) Execute(p *sim.Proc, spec ExecSpec) *Task {
 			name = h.Name
 		}
 		agent := m.agents.Ensure(spec.HostID, name)
-		waited, served := agent.Exec(p, sample.Host+spec.ExtraHostS)
+		hostOut := m.cfg.Faults.Decide(faults.LayerHost, kind, task.ID, attempt)
+		waited, served := agent.Exec(p, sample.Host+spec.ExtraHostS+hostOut.StallS)
 		task.Breakdown.Queue += waited
 		task.Breakdown.Host += served
+		if hostOut.Fail {
+			return &faults.Error{Layer: faults.LayerHost, Op: kind, Attempt: attempt}
+		}
 	}
 
 	// 5. Data plane.
 	if spec.Body != nil {
+		layer := faults.LayerStorage
+		if m.network != nil && spec.Req.Kind == ops.KindMigrate {
+			layer = faults.LayerNet
+		}
+		out := m.cfg.Faults.Decide(layer, kind, task.ID, attempt)
+		if out.StallS > 0 {
+			p.Sleep(out.StallS)
+			task.Breakdown.Data += out.StallS
+		}
+		if out.Fail {
+			return &faults.Error{Layer: layer, Op: kind, Attempt: attempt}
+		}
 		d0 := p.Now()
 		task.Err = spec.Body(p)
 		task.Breakdown.Data += p.Now() - d0
@@ -384,11 +617,8 @@ func (m *Manager) Execute(p *sim.Proc, spec ExecSpec) *Task {
 	// 6. Manager post-processing and final DB updates (task completion,
 	// inventory commit).
 	m.mgmtStage(p, task, sample.Mgmt*0.4)
-	m.dbStage(p, task, sample.DB*0.4, writes-preWrites)
-
-	task.End = p.Now()
-	m.record(task)
-	return task
+	m.dbStage(p, task, sample.DB*0.4, writes-preWrites, 0)
+	return nil
 }
 
 func (m *Manager) mgmtStage(p *sim.Proc, task *Task, seconds float64) {
@@ -405,9 +635,16 @@ func (m *Manager) mgmtStage(p *sim.Proc, task *Task, seconds float64) {
 
 // dbStage charges one database interaction. Under the aggregate model it
 // is `seconds` of service behind the connection pool; under the WAL model
-// it is `writes` real row commits with group-commit durability.
-func (m *Manager) dbStage(p *sim.Proc, task *Task, seconds float64, writes int) {
+// it is `writes` real row commits with group-commit durability. stallS
+// is injected fault latency: folded into the aggregate service time, or
+// charged as a pre-commit delay under the WAL model (always 0 when
+// faults are off, so the disabled path schedules no extra events).
+func (m *Manager) dbStage(p *sim.Proc, task *Task, seconds float64, writes int, stallS float64) {
 	if m.waldb != nil {
+		if stallS > 0 {
+			p.Sleep(stallS)
+			task.Breakdown.DB += stallS
+		}
 		if writes <= 0 {
 			return
 		}
@@ -416,6 +653,7 @@ func (m *Manager) dbStage(p *sim.Proc, task *Task, seconds float64, writes int) 
 		task.Breakdown.DB += service
 		return
 	}
+	seconds += stallS
 	if seconds <= 0 {
 		return
 	}
@@ -428,17 +666,14 @@ func (m *Manager) dbStage(p *sim.Proc, task *Task, seconds float64, writes int) 
 }
 
 func (m *Manager) record(t *Task) {
-	ks, ok := m.perKind[t.Req.Kind]
-	if !ok {
-		ks = &kindStats{}
-		m.perKind[t.Req.Kind] = ks
-	}
+	ks := m.kindStatsFor(t.Req.Kind)
 	ks.latency.Add(t.Latency())
 	ks.sum = ks.sum.Add(t.Breakdown)
 	ks.count++
 	m.taskLat.Observe(t.Latency())
 	if t.Err != nil {
 		m.errs++
+		ks.errors++
 	}
 	for _, fn := range m.sinks {
 		fn(t)
@@ -468,6 +703,7 @@ func (m *Manager) Summary() []KindSummary {
 		out = append(out, KindSummary{
 			Kind:          k,
 			Count:         ks.count,
+			Errors:        ks.errors,
 			MeanLatency:   ks.latency.Mean(),
 			P95Latency:    ks.latency.Percentile(95),
 			MaxLatency:    ks.latency.Max(),

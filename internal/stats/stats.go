@@ -199,6 +199,7 @@ type Histogram struct {
 	bins   []int64
 	under  int64
 	over   int64
+	nan    int64
 	n      int64
 }
 
@@ -210,10 +211,15 @@ func NewHistogram(lo, hi float64, nbins int) *Histogram {
 	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(nbins), bins: make([]int64, nbins)}
 }
 
-// Add records one observation.
+// Add records one observation. NaN is counted separately (see NaNs):
+// it compares false against both range guards, so without its own case
+// it would fall through to the bin index computation, where int(NaN)
+// produces a platform-dependent negative index and a panic.
 func (h *Histogram) Add(x float64) {
 	h.n++
 	switch {
+	case math.IsNaN(x):
+		h.nan++
 	case x < h.lo:
 		h.under++
 	case x >= h.hi:
@@ -245,6 +251,10 @@ func (h *Histogram) Underflow() int64 { return h.under }
 // Overflow returns the count of observations at or above hi.
 func (h *Histogram) Overflow() int64 { return h.over }
 
+// NaNs returns the count of NaN observations. They are included in
+// Count but belong to no bin and neither the under- nor overflow.
+func (h *Histogram) NaNs() int64 { return h.nan }
+
 // TimeSeries bins event counts by fixed-width windows of (virtual) time,
 // for rate-over-time plots and burstiness measures. Windows start at 0.
 type TimeSeries struct {
@@ -260,9 +270,13 @@ func NewTimeSeries(width float64) *TimeSeries {
 	return &TimeSeries{width: width}
 }
 
-// Add accumulates weight w at time t (t >= 0). Use w=1 to count events.
+// Add accumulates weight w at finite time t (t >= 0). Use w=1 to count
+// events. NaN and +Inf are rejected explicitly: NaN compares false
+// against t < 0 and would index with int(NaN) (platform-dependent
+// negative), while +Inf would grow the bin slice until the allocator
+// gives out.
 func (ts *TimeSeries) Add(t, w float64) {
-	if t < 0 {
+	if t < 0 || math.IsNaN(t) || math.IsInf(t, 1) {
 		panic(fmt.Sprintf("stats: time %v", t))
 	}
 	i := int(t / ts.width)

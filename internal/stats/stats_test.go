@@ -206,6 +206,57 @@ func TestHistogramCountsConserved(t *testing.T) {
 	}
 }
 
+func TestHistogramNaNDoesNotPanic(t *testing.T) {
+	// NaN compares false against both x < lo and x >= hi, so the old
+	// code fell through to the bin index, where int(NaN) is a
+	// platform-dependent negative value and bins[i]++ panicked.
+	h := NewHistogram(0, 10, 5)
+	h.Add(math.NaN())
+	h.Add(2)
+	h.Add(math.NaN())
+	if h.NaNs() != 2 {
+		t.Fatalf("NaNs = %d, want 2", h.NaNs())
+	}
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count())
+	}
+	if h.Underflow() != 0 || h.Overflow() != 0 {
+		t.Fatalf("NaN leaked into under/overflow: %d/%d", h.Underflow(), h.Overflow())
+	}
+	var binned int64
+	for i := 0; i < h.NumBins(); i++ {
+		binned += h.Bin(i)
+	}
+	if binned != 1 {
+		t.Fatalf("binned = %d, want 1", binned)
+	}
+}
+
+func TestTimeSeriesRejectsNaNTime(t *testing.T) {
+	// NaN t passes the t < 0 guard (NaN comparisons are false) and the
+	// old code indexed with int(NaN) — a platform-dependent negative.
+	ts := NewTimeSeries(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for NaN time")
+		}
+	}()
+	ts.Add(math.NaN(), 1)
+}
+
+func TestTimeSeriesRejectsInfTime(t *testing.T) {
+	// +Inf t passed the guard too, and the bin-growing loop would try
+	// to extend the slice to int(+Inf) entries before the allocator
+	// gave out.
+	ts := NewTimeSeries(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for +Inf time")
+		}
+	}()
+	ts.Add(math.Inf(1), 1)
+}
+
 func TestTimeSeries(t *testing.T) {
 	ts := NewTimeSeries(60)
 	ts.Add(0, 1)

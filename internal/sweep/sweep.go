@@ -51,10 +51,11 @@ type Options struct {
 	// Workers bounds the pool; <= 0 means runtime.GOMAXPROCS(0).
 	Workers int
 	// OnProgress, when non-nil, is invoked after each job completes.
-	// Calls are serialized and Done is monotonically increasing, but the
-	// callback must not call back into the engine. Wall-clock Elapsed is
-	// inherently nondeterministic — surface it on stderr, never in
-	// rendered artifacts.
+	// Calls are serialized and Done advances one step at a time. The
+	// callback runs outside the pool's scheduling lock, so a slow or
+	// blocking callback delays reporting but never stalls the workers.
+	// Wall-clock Elapsed is inherently nondeterministic — surface it on
+	// stderr, never in rendered artifacts.
 	OnProgress func(Progress)
 }
 
@@ -89,11 +90,14 @@ func Run[T any](opts Options, n int, fn func(Point) (T, error)) ([]T, error) {
 	start := time.Now()
 
 	var (
-		mu       sync.Mutex
-		next     int  // next index to hand out
-		done     int  // jobs finished
-		canceled bool // stop handing out new indices
-		wg       sync.WaitGroup
+		mu         sync.Mutex
+		next       int  // next index to hand out
+		done       int  // jobs finished
+		canceled   bool // stop handing out new indices
+		wg         sync.WaitGroup
+		cbMu       sync.Mutex // serializes OnProgress, never nested in mu
+		pending    []Progress // snapshots awaiting delivery, FIFO
+		delivering bool       // a goroutine is draining pending
 	)
 	claim := func() (int, bool) {
 		mu.Lock()
@@ -105,6 +109,14 @@ func Run[T any](opts Options, n int, fn func(Point) (T, error)) ([]T, error) {
 		next++
 		return i, true
 	}
+	// finish records a job's outcome and reports progress. The callback
+	// must NOT run under the pool mutex: a callback that blocks (writing
+	// a slow pipe, waiting on another job's side effect) would stall
+	// claim() and wedge every worker. Instead each finisher enqueues its
+	// snapshot under mu and exactly one goroutine at a time drains the
+	// FIFO with mu released around each call — callbacks stay serialized
+	// (under cbMu) and Done still advances one step at a time, but the
+	// pool keeps scheduling while a callback runs.
 	finish := func(i int, err error) {
 		mu.Lock()
 		if err != nil {
@@ -112,13 +124,26 @@ func Run[T any](opts Options, n int, fn func(Point) (T, error)) ([]T, error) {
 			canceled = true
 		}
 		done++
-		p := Progress{Done: done, Total: n, Elapsed: time.Since(start)}
-		cb := opts.OnProgress
-		if cb != nil {
-			// Called under the lock so observers see Done advance one
-			// step at a time with no interleaving.
-			cb(p)
+		if opts.OnProgress == nil {
+			mu.Unlock()
+			return
 		}
+		pending = append(pending, Progress{Done: done, Total: n, Elapsed: time.Since(start)})
+		if delivering {
+			mu.Unlock() // the active drainer will deliver ours too
+			return
+		}
+		delivering = true
+		for len(pending) > 0 {
+			p := pending[0]
+			pending = pending[1:]
+			mu.Unlock()
+			cbMu.Lock()
+			opts.OnProgress(p)
+			cbMu.Unlock()
+			mu.Lock()
+		}
+		delivering = false
 		mu.Unlock()
 	}
 	for w := 0; w < workers; w++ {

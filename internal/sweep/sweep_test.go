@@ -120,6 +120,45 @@ func TestProgressMonotonicAndComplete(t *testing.T) {
 	}
 }
 
+// A blocking OnProgress callback must not stall the worker pool. The
+// engine used to invoke the callback while holding the pool mutex, so a
+// callback that waited for a later job to start deadlocked the sweep:
+// claim() needs that same mutex to hand out indices. Here the first
+// callback releases job 0 and then refuses to return until job 2 has
+// started — possible only if workers keep claiming while the callback
+// is in flight.
+func TestProgressCallbackDoesNotBlockScheduling(t *testing.T) {
+	release0 := make(chan struct{})
+	job2started := make(chan struct{})
+	var first atomic.Bool
+	_, err := Run(Options{
+		MasterSeed: 1,
+		Workers:    2,
+		OnProgress: func(p Progress) {
+			if !first.CompareAndSwap(false, true) {
+				return
+			}
+			close(release0)
+			select {
+			case <-job2started:
+			case <-time.After(10 * time.Second):
+				t.Error("pool stalled: job 2 never started while a progress callback was in flight")
+			}
+		},
+	}, 3, func(p Point) (int, error) {
+		switch p.Index {
+		case 0:
+			<-release0
+		case 2:
+			close(job2started)
+		}
+		return p.Index, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestEdgeCases(t *testing.T) {
 	if out, err := Run(Options{}, 0, func(p Point) (int, error) { return 1, nil }); err != nil || len(out) != 0 {
 		t.Fatalf("n=0: out=%v err=%v", out, err)
