@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"cloudmcp/internal/core"
+	"cloudmcp/internal/plane"
 )
 
 const benchSeed = 1
@@ -334,4 +335,40 @@ func BenchmarkE16_RestartStorm(b *testing.B) {
 		b.ReportMetric(busy.RecoveryS/idle.RecoveryS, "recovery-stretch@maxload")
 	}
 	printOnce(b, "E16", renderable{res.Render})
+}
+
+// BenchmarkShardedPlane runs the E18-style closed loop (fast datastores,
+// no chain churn, provisioning isolated) on a single-shard and a 4-shard
+// per-shard-DB plane, reporting the wall-clock cost of the extra shard
+// machinery and the simulated throughput each topology sustains.
+func BenchmarkShardedPlane(b *testing.B) {
+	run := func(shards int) (core.ClosedLoopResult, time.Duration) {
+		cfg := core.DefaultConfig(benchSeed)
+		cfg.Director.FastProvisioning = true
+		cfg.Director.RebalanceThreshold = 0
+		cfg.Director.MaxChainLen = 1 << 20
+		cfg.Topology.DatastoreMBps = 4000
+		cfg.Plane.Shards = shards
+		cfg.Plane.DB = plane.DBPerShard
+		t0 := time.Now()
+		res, err := core.RunClosedLoop(cfg, 192, 300, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res, time.Since(t0)
+	}
+	var wall1, wall4 time.Duration
+	var good1, good4 float64
+	for i := 0; i < b.N; i++ {
+		r1, d1 := run(1)
+		r4, d4 := run(4)
+		wall1 += d1
+		wall4 += d4
+		good1, good4 = r1.DeploysPerHour, r4.DeploysPerHour
+	}
+	n := float64(b.N)
+	b.ReportMetric(wall1.Seconds()/n, "wall-s/shards1")
+	b.ReportMetric(wall4.Seconds()/n, "wall-s/shards4")
+	b.ReportMetric(good1, "deploys-per-h/shards1")
+	b.ReportMetric(good4, "deploys-per-h/shards4")
 }

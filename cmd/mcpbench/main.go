@@ -2,18 +2,20 @@
 // reconstructed paper tables/figures plus the extensions) and prints
 // every artifact. Experiments and their internal parameter sweeps run in
 // parallel across -workers cores; output is byte-identical for any
-// worker count at a fixed seed. E17 (fault injection) is opt-in via
-// -only E17 or -faults and never changes the default artifact.
+// worker count at a fixed seed. E17 (fault injection) and E18
+// (management-plane scale-out) are opt-in via -only, -faults, or
+// -shards and never change the default artifact.
 //
 //	mcpbench                 # full-scale horizons (minutes of wall time)
 //	mcpbench -quick          # CI-scale horizons (seconds)
 //	mcpbench -seed 7         # different random universe
-//	mcpbench -only E6        # one experiment (E1..E17)
+//	mcpbench -only E6        # one experiment (E1..E18)
 //	mcpbench -workers 1      # serial execution (same output, more wall time)
 //	mcpbench -progress       # completion ticks on stderr
 //	mcpbench -metrics        # instrumented probe at the E6 crossover point
 //	mcpbench -faults         # E17 goodput-under-faults, default rate grid
 //	mcpbench -fault-rate 0.3 # E17 sweeping rates {0, 0.075, 0.15, 0.3}
+//	mcpbench -shards 8       # E18 scale-out, sweeping shards {1, 2, 4, 8}
 package main
 
 import (
@@ -29,15 +31,37 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "master random seed")
 	quick := flag.Bool("quick", false, "run shortened horizons")
-	only := flag.String("only", "", "run a single experiment (E1..E17)")
+	only := flag.String("only", "", "run a single experiment (E1..E18)")
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "print per-experiment completion to stderr")
 	showMetrics := flag.Bool("metrics", false, "run an instrumented closed-loop probe at the E6 crossover and print per-layer metrics")
 	metricsOut := flag.String("metrics-out", "", "write the probe's metrics snapshot to this file (.json, .csv, or ASCII)")
 	withFaults := flag.Bool("faults", false, "run E17: goodput and latency under injected control-plane faults")
 	faultRate := flag.Float64("fault-rate", 0, "highest injected fault rate for E17's sweep grid (0 = default grid; implies -faults)")
+	shards := flag.Int("shards", 0, "run E18: management-plane scale-out, sweeping shard counts up to this power of two (0 = off)")
 	flag.Parse()
 
+	// Reject inconsistent flag values up front with a clear message and
+	// a non-zero exit instead of clamping or panicking mid-suite.
+	if *faultRate < 0 || *faultRate > 1 {
+		fatal(fmt.Errorf("-fault-rate must be in [0,1], got %g", *faultRate))
+	}
+	if *shards < 0 {
+		fatal(fmt.Errorf("-shards must be >= 0, got %d", *shards))
+	}
+	if *workers < 0 {
+		fatal(fmt.Errorf("-workers must be >= 0, got %d", *workers))
+	}
+	if *shards > 0 && (*withFaults || *faultRate > 0) {
+		fatal(fmt.Errorf("-shards (E18) and -faults (E17) are separate benches; pick one, or use -only"))
+	}
+
+	if *shards > 0 {
+		if err := shardsBench(*seed, *quick, *workers, *shards); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *withFaults || *faultRate > 0 {
 		if err := faultsBench(*seed, *quick, *workers, *faultRate); err != nil {
 			fatal(err)
@@ -70,6 +94,29 @@ func main() {
 	if err := core.RunAllWith(os.Stdout, *seed, *quick, opts); err != nil {
 		fatal(err)
 	}
+}
+
+// shardsBench runs E18 — closed-loop provisioning throughput, p99
+// latency, and DB utilization versus management-shard count under
+// shared and per-shard database modes, plus the cross-shard
+// coordination leg. max bounds the grid: shard counts are the powers of
+// two up to max (so -shards 8 sweeps {1, 2, 4, 8}).
+func shardsBench(seed int64, quick bool, workers, max int) error {
+	scale := 1.0
+	if quick {
+		scale = 0.1
+	}
+	var counts []int
+	for n := 1; n <= max; n *= 2 {
+		counts = append(counts, n)
+	}
+	res, err := core.RunE18(core.E18Params{
+		Seed: seed, ShardCounts: counts, HorizonS: 1800 * scale, Workers: workers,
+	})
+	if err != nil {
+		return err
+	}
+	return res.Render(os.Stdout)
 }
 
 // faultsBench runs E17 — closed-loop deploy goodput, tail latency, and

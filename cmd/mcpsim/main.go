@@ -5,6 +5,7 @@
 //	mcpsim -profile cloud-a -hours 24
 //	mcpsim -profile cloud-b -hours 8 -fast=false   # full-clone baseline
 //	mcpsim -hosts 64 -datastores 16 -cells 4
+//	mcpsim -shards 4 -plane-db per-shard           # sharded management plane
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"cloudmcp/internal/analysis"
 	"cloudmcp/internal/core"
 	"cloudmcp/internal/faults"
+	"cloudmcp/internal/plane"
 	"cloudmcp/internal/report"
 	"cloudmcp/internal/workload"
 )
@@ -34,6 +36,8 @@ func main() {
 		metricsOut  = flag.String("metrics-out", "", "write the metrics snapshot to this file (.json, .csv, or ASCII)")
 		withFaults  = flag.Bool("faults", false, "inject control-plane faults (preset at -fault-rate) and retry with backoff")
 		faultRate   = flag.Float64("fault-rate", 0.1, "base transient-failure probability for the fault preset (implies -faults)")
+		shards      = flag.Int("shards", 1, "management-server shards behind the director")
+		planeDB     = flag.String("plane-db", "shared", "management DB mode across shards: shared or per-shard")
 	)
 	flag.Parse()
 	faultsOn := *withFaults
@@ -42,6 +46,27 @@ func main() {
 			faultsOn = true
 		}
 	})
+
+	// Reject inconsistent flag values up front with a clear message
+	// instead of clamping silently or panicking deep inside core.
+	if *shards < 1 {
+		fatal(fmt.Errorf("-shards must be >= 1, got %d", *shards))
+	}
+	if *planeDB != string(plane.DBShared) && *planeDB != string(plane.DBPerShard) {
+		fatal(fmt.Errorf("-plane-db must be %q or %q, got %q", plane.DBShared, plane.DBPerShard, *planeDB))
+	}
+	if faultsOn && (*faultRate < 0 || *faultRate > 1) {
+		fatal(fmt.Errorf("-fault-rate must be in [0,1], got %g", *faultRate))
+	}
+	if *hours <= 0 {
+		fatal(fmt.Errorf("-hours must be > 0, got %g", *hours))
+	}
+	if *hosts < 1 || *datastores < 1 || *cells < 1 {
+		fatal(fmt.Errorf("-hosts, -datastores, and -cells must be >= 1, got %d/%d/%d", *hosts, *datastores, *cells))
+	}
+	if *shards > *hosts {
+		fatal(fmt.Errorf("-shards %d exceeds -hosts %d: a shard needs at least one host", *shards, *hosts))
+	}
 
 	if *dumpConfig {
 		if err := core.WriteDefaultConfig(os.Stdout, *seed); err != nil {
@@ -70,6 +95,8 @@ func main() {
 		cfg.Topology.Datastores = *datastores
 		cfg.Director.Cells = *cells
 		cfg.Director.FastProvisioning = *fast
+		cfg.Plane.Shards = *shards
+		cfg.Plane.DB = plane.DBMode(*planeDB)
 	}
 	if faultsOn {
 		fc := faults.Preset(*faultRate)
@@ -123,7 +150,7 @@ func main() {
 	sumT.AddRow("mgmt thread utilization", rr.Threads.Utilization)
 	sumT.AddRow("mgmt DB utilization", rr.DB.Utilization)
 	sumT.AddRow("admission mean queue", rr.Admission.MeanQueueLen)
-	sumT.AddRow("task errors", cloud.Manager().TaskErrors())
+	sumT.AddRow("task errors", cloud.Plane().TaskErrors())
 	render(sumT)
 	fmt.Println()
 
@@ -133,9 +160,19 @@ func main() {
 	}
 	render(btT)
 
+	if pl := cloud.Plane(); pl.ShardCount() > 1 {
+		fmt.Println()
+		render(report.ShardTable(cloud.ShardReport()))
+		ps := pl.Stats()
+		if ct := report.CrossShardTable(ps.CrossOps, pl.TasksCompleted(), ps.CoordS); ct != nil {
+			fmt.Println()
+			render(ct)
+		}
+	}
+
 	if faultsOn {
 		fmt.Println()
-		rs := cloud.Manager().RetryStats()
+		rs := cloud.Plane().RetryStats()
 		rtT := report.NewTable(fmt.Sprintf("Fault injection (rate %.2f) and retries", *faultRate), "metric", "value")
 		rtT.AddRow("attempts", rs.Attempts)
 		rtT.AddRow("injected faults", rs.Faults)

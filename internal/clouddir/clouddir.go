@@ -122,7 +122,7 @@ type RebalanceEvent struct {
 // Director is the simulated cloud director.
 type Director struct {
 	env    *sim.Env
-	mgr    *mgmt.Manager
+	mgr    mgmt.API
 	model  *ops.CostModel
 	stream *rng.Stream
 	cfg    Config
@@ -162,7 +162,7 @@ type Director struct {
 
 // New builds a director over an existing manager. The stream seeds cell
 // stage-time draws; it must be distinct from the manager's stream.
-func New(env *sim.Env, mgr *mgmt.Manager, model *ops.CostModel, stream *rng.Stream, cfg Config) (*Director, error) {
+func New(env *sim.Env, mgr mgmt.API, model *ops.CostModel, stream *rng.Stream, cfg Config) (*Director, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -202,8 +202,9 @@ func (d *Director) registerMetrics(reg *metrics.Registry) {
 	scalar("sticky_overflows", func() float64 { return float64(d.stickyOverflows) })
 }
 
-// Manager returns the underlying virtualization manager.
-func (d *Director) Manager() *mgmt.Manager { return d.mgr }
+// Manager returns the management-plane endpoint the director submits
+// operations to — a single manager or a sharded plane.
+func (d *Director) Manager() mgmt.API { return d.mgr }
 
 // Config returns the director's configuration.
 func (d *Director) Config() Config { return d.cfg }
@@ -240,10 +241,16 @@ func (d *Director) reqCtx(p *sim.Proc, org string, k ops.Kind, submit sim.Time) 
 }
 
 // placeHost returns the cluster host with the most free memory that fits
-// memMB, or nil when none fits.
-func (d *Director) placeHost(memMB int) *inventory.Host {
+// memMB, or nil when none fits. On a multi-shard plane each request
+// carries a preferred shard (its cell index modulo the shard count) and
+// the most-free host on that shard wins when one fits — cell→shard
+// affinity that keeps a cell's deploys on one management shard — with
+// global most-free as the fallback. On a single shard the preference
+// can't change the answer.
+func (d *Director) placeHost(memMB, prefShard int) *inventory.Host {
 	inv := d.mgr.Inventory()
-	var best *inventory.Host
+	affine := d.mgr.ShardCount() > 1
+	var best, bestPref *inventory.Host
 	for _, id := range inv.Hosts() {
 		h := inv.Host(id)
 		if !h.InService() || h.FreeMemMB() < memMB {
@@ -252,6 +259,13 @@ func (d *Director) placeHost(memMB int) *inventory.Host {
 		if best == nil || h.FreeMemMB() > best.FreeMemMB() {
 			best = h
 		}
+		if affine && d.mgr.ShardOf(id) == prefShard &&
+			(bestPref == nil || h.FreeMemMB() > bestPref.FreeMemMB()) {
+			bestPref = h
+		}
+	}
+	if bestPref != nil {
+		return bestPref
 	}
 	return best
 }
@@ -454,9 +468,12 @@ type vmOutcome struct {
 
 // deployOne provisions a single vApp member VM.
 func (d *Director) deployOne(p *sim.Proc, org, name string, tpl *inventory.Template, va *inventory.VApp, powerOn bool, submit sim.Time) (out vmOutcome) {
+	// The request's cell index (the round-robin counter before the cell
+	// stage consumes it) doubles as its preferred management shard.
+	prefShard := d.rr % d.mgr.ShardCount()
 	ctx := d.reqCtx(p, org, ops.KindDeploy, submit)
 
-	host := d.placeHost(tpl.MemMB)
+	host := d.placeHost(tpl.MemMB, prefShard)
 	if host == nil {
 		out.err = fmt.Errorf("clouddir: no host fits %s (%d MB)", name, tpl.MemMB)
 		return out

@@ -9,7 +9,7 @@ import (
 	"cloudmcp/internal/ops"
 	"cloudmcp/internal/rng"
 	"cloudmcp/internal/sim"
-	"cloudmcp/internal/storage"
+	"cloudmcp/internal/testfix"
 )
 
 type fixture struct {
@@ -23,29 +23,16 @@ type fixture struct {
 
 func newFixture(t *testing.T, cfg Config) *fixture {
 	t.Helper()
-	env := sim.NewEnv()
-	inv := inventory.New()
-	dc := inv.AddDatacenter("dc0")
-	cl := inv.AddCluster(dc, "cl0")
-	for i := 0; i < 4; i++ {
-		inv.AddHost(cl, "h", 40000, 262144)
-	}
-	d0 := inv.AddDatastore(dc, "ds0", 4000, 200)
-	d1 := inv.AddDatastore(dc, "ds1", 4000, 200)
-	tpl := inv.AddTemplate(d0, "tpl0", 20, 2048, 2)
-	pool := storage.NewPool(env, inv)
-	model := ops.DefaultCostModel()
-	model.CV = 0
-	mgr, err := mgmt.New(env, inv, pool, model, rng.Derive(1, "mgmt"), mgmt.DefaultConfig())
+	fx := testfix.New(testfix.Options{Hosts: 4, HostMemMB: 262144})
+	mgr, err := mgmt.New(fx.Env, fx.Inv, fx.Pool, fx.Model, rng.Derive(1, "mgmt"), mgmt.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	dir, err := New(env, mgr, model, rng.Derive(1, "cell"), cfg)
+	dir, err := New(fx.Env, mgr, fx.Model, rng.Derive(1, "cell"), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &fixture{env: env, inv: inv, mgr: mgr, dir: dir, tpl: tpl,
-		ds: []*inventory.Datastore{d0, d1}}
+	return &fixture{env: fx.Env, inv: fx.Inv, mgr: mgr, dir: dir, tpl: fx.Tpl, ds: fx.DS}
 }
 
 func TestDeployVAppLinked(t *testing.T) {

@@ -18,6 +18,7 @@ import (
 	"cloudmcp/internal/mgmtdb"
 	"cloudmcp/internal/netsim"
 	"cloudmcp/internal/ops"
+	"cloudmcp/internal/plane"
 )
 
 // ConfigFile is the JSON wire form of a Config. Zero-valued fields keep
@@ -27,6 +28,7 @@ type ConfigFile struct {
 
 	Topology *TopologyFile `json:"topology,omitempty"`
 	Mgmt     *MgmtFile     `json:"mgmt,omitempty"`
+	Plane    *PlaneFile    `json:"plane,omitempty"`
 	Director *DirectorFile `json:"director,omitempty"`
 	Storage  *StorageFile  `json:"storage,omitempty"`
 	DRS      *DRSFile      `json:"drs,omitempty"`
@@ -90,6 +92,13 @@ type MgmtFile struct {
 
 	Database *DatabaseFile `json:"database,omitempty"`
 	Network  *NetworkFile  `json:"network,omitempty"`
+}
+
+// PlaneFile mirrors plane.Config: the management-plane topology.
+type PlaneFile struct {
+	Shards      int     `json:"shards,omitempty"`
+	DB          string  `json:"db,omitempty"` // shared|per-shard
+	CoordWriteS float64 `json:"coordWriteS,omitempty"`
 }
 
 // DatabaseFile mirrors mgmtdb.Config.
@@ -225,6 +234,26 @@ func (f *ConfigFile) Apply() (Config, error) {
 				net.MBps = m.Network.MBps
 			}
 			cfg.Mgmt.Network = &net
+		}
+	}
+	if p := f.Plane; p != nil {
+		if p.Shards != 0 {
+			cfg.Plane.Shards = p.Shards
+		}
+		switch p.DB {
+		case "":
+		case string(plane.DBShared):
+			cfg.Plane.DB = plane.DBShared
+		case string(plane.DBPerShard):
+			cfg.Plane.DB = plane.DBPerShard
+		default:
+			return Config{}, fmt.Errorf("core: unknown plane db mode %q (want %q or %q)", p.DB, plane.DBShared, plane.DBPerShard)
+		}
+		if p.CoordWriteS != 0 {
+			cfg.Plane.CoordWriteS = p.CoordWriteS
+		}
+		if err := cfg.Plane.Validate(); err != nil {
+			return Config{}, err
 		}
 	}
 	if d := f.Director; d != nil {
@@ -388,6 +417,10 @@ func WriteDefaultConfig(w io.Writer, seed int64) error {
 			Threads: def.Mgmt.Threads, DBConns: def.Mgmt.DBConns,
 			MaxInFlight: def.Mgmt.MaxInFlight, HostSlots: def.Mgmt.HostSlots,
 			Granularity: def.Mgmt.Granularity.String(),
+		},
+		Plane: &PlaneFile{
+			Shards: def.Plane.Shards, DB: string(def.Plane.DB),
+			CoordWriteS: def.Plane.CoordWriteS,
 		},
 		Director: &DirectorFile{
 			Cells: def.Director.Cells, CellThreads: def.Director.CellThreads,

@@ -26,6 +26,7 @@ import (
 	"cloudmcp/internal/metrics"
 	"cloudmcp/internal/mgmt"
 	"cloudmcp/internal/ops"
+	"cloudmcp/internal/plane"
 	"cloudmcp/internal/report"
 	"cloudmcp/internal/rng"
 	"cloudmcp/internal/sim"
@@ -85,6 +86,12 @@ type Config struct {
 	Director clouddir.Config
 	Storage  storage.Policy
 
+	// Plane is the management-plane topology: how many manager shards
+	// stand behind the director and whether they share one management
+	// database. The zero value (and DefaultConfig) is the single-shard
+	// identity topology.
+	Plane plane.Config
+
 	// DRS enables the compute load balancer (zero Threshold = off, the
 	// default: the synthetic workloads self-balance via most-free
 	// placement, so DRS is opt-in for scenarios that skew load).
@@ -121,6 +128,7 @@ func DefaultConfig(seed int64) Config {
 		Mgmt:     mgmt.DefaultConfig(),
 		Director: clouddir.DefaultConfig(),
 		Storage:  storage.DefaultPolicy(),
+		Plane:    plane.DefaultConfig(),
 		Record:   true,
 	}
 }
@@ -132,7 +140,7 @@ type Cloud struct {
 	env      *sim.Env
 	inv      *inventory.Inventory
 	pool     *storage.Pool
-	mgr      *mgmt.Manager
+	plane    *plane.Plane
 	dir      *clouddir.Director
 	balancer *drs.Balancer
 	recorder *trace.Recorder
@@ -181,22 +189,27 @@ func New(cfg Config) (*Cloud, error) {
 			mcfg.Retry = mgmt.DefaultRetryPolicy()
 		}
 	}
-	mgr, err := mgmt.New(env, inv, pool, model, rng.Derive(cfg.Seed, "mgmt"), mcfg)
+	if cfg.Plane == (plane.Config{}) {
+		// A zero Plane block (configs predating the sharded plane) is
+		// the single-shard identity topology.
+		cfg.Plane = plane.DefaultConfig()
+	}
+	pl, err := plane.New(env, inv, pool, model, cfg.Seed, mcfg, cfg.Plane)
 	if err != nil {
 		return nil, err
 	}
-	dir, err := clouddir.New(env, mgr, model, rng.Derive(cfg.Seed, "cells"), cfg.Director)
+	dir, err := clouddir.New(env, pl, model, rng.Derive(cfg.Seed, "cells"), cfg.Director)
 	if err != nil {
 		return nil, err
 	}
-	balancer, err := drs.New(env, mgr, cfg.DRS)
+	balancer, err := drs.New(env, pl, cfg.DRS)
 	if err != nil {
 		return nil, err
 	}
-	c := &Cloud{cfg: cfg, env: env, inv: inv, pool: pool, mgr: mgr, dir: dir, balancer: balancer}
+	c := &Cloud{cfg: cfg, env: env, inv: inv, pool: pool, plane: pl, dir: dir, balancer: balancer}
 	if cfg.Record {
 		c.recorder = trace.NewRecorder()
-		mgr.AddTaskSink(c.recorder.Sink)
+		pl.AddTaskSink(c.recorder.Sink)
 	}
 	dir.StartRebalancer()
 	balancer.Start()
@@ -215,8 +228,15 @@ func (c *Cloud) Inventory() *inventory.Inventory { return c.inv }
 // Storage returns the datastore pool.
 func (c *Cloud) Storage() *storage.Pool { return c.pool }
 
-// Manager returns the virtualization manager.
-func (c *Cloud) Manager() *mgmt.Manager { return c.mgr }
+// Manager returns the home-shard virtualization manager. On the default
+// single-shard plane this is the one manager; experiments needing
+// shard-local access (the HA engine, restart storms) use it directly,
+// while plane-wide accounting goes through Plane().
+func (c *Cloud) Manager() *mgmt.Manager { return c.plane.Home() }
+
+// Plane returns the management-plane topology: the shard set, the
+// host→shard partition, and cross-shard coordination counters.
+func (c *Cloud) Plane() *plane.Plane { return c.plane }
 
 // Director returns the cloud director.
 func (c *Cloud) Director() *clouddir.Director { return c.dir }
@@ -234,10 +254,60 @@ func (c *Cloud) MetricsSnapshot() *metrics.Snapshot {
 	return c.env.Metrics().Snapshot(float64(c.env.Now()))
 }
 
+// ShardReport summarizes each management shard's load for the report
+// renderer: hosts owned, tasks completed, thread utilization, admission
+// queue, and database utilization (the shared instance's on every row
+// in shared-DB mode). Call after Run.
+func (c *Cloud) ShardReport() []report.ShardRow {
+	hostsOf := make(map[int]int)
+	for _, id := range c.inv.Hosts() {
+		hostsOf[c.plane.ShardOf(id)]++
+	}
+	var rows []report.ShardRow
+	for i, mgr := range c.plane.Shards() {
+		rr := mgr.Resources()
+		dbUtil := rr.DB.Utilization
+		if wal, ok := mgr.WALStats(); ok {
+			dbUtil = wal.FlushStats.Utilization
+		}
+		rows = append(rows, report.ShardRow{
+			Shard:          fmt.Sprintf("shard%d", i),
+			Hosts:          hostsOf[i],
+			Tasks:          mgr.TasksCompleted(),
+			ThreadsUtil:    rr.Threads.Utilization,
+			AdmissionQueue: rr.Admission.MeanQueueLen,
+			DBUtil:         dbUtil,
+		})
+	}
+	return rows
+}
+
+// DBUtilization is the management database's mean utilization so far:
+// the shared instance's utilization when shards contend on one DB (or
+// on the single-shard plane), the mean across instances in per-shard
+// mode. WAL-model databases report their flush-stage utilization.
+func (c *Cloud) DBUtilization() float64 {
+	dbUtil := func(m *mgmt.Manager) float64 {
+		if wal, ok := m.WALStats(); ok {
+			return wal.FlushStats.Utilization
+		}
+		return m.Resources().DB.Utilization
+	}
+	shards := c.plane.Shards()
+	if len(shards) == 1 || c.plane.Config().DB == plane.DBShared {
+		return dbUtil(shards[0])
+	}
+	var sum float64
+	for _, m := range shards {
+		sum += dbUtil(m)
+	}
+	return sum / float64(len(shards))
+}
+
 // GoodputReport adapts the manager's per-kind goodput accounting to the
 // report renderer's rows. Meaningful under fault injection; without it
 // every task costs exactly one attempt.
-func (c *Cloud) GoodputReport() []report.GoodputRow { return goodputRows(c.mgr.Goodput()) }
+func (c *Cloud) GoodputReport() []report.GoodputRow { return goodputRows(c.plane.Goodput()) }
 
 // Records returns the operation trace collected so far (nil when
 // recording is disabled).
@@ -296,20 +366,35 @@ type StageUtilization struct {
 }
 
 // BottleneckReport ranks the control-plane stages by utilization —
-// director cells, manager threads, database, the busiest host agent, and
-// the busiest datastore engine — answering "what saturates first" for
-// the current run. Call after Run.
+// director cells, per-shard manager threads, admission, and database,
+// the busiest host agent, and the busiest datastore engine — answering
+// "what saturates first" for the current run. On a single-shard plane
+// stage names carry no shard prefix; with several shards each shard
+// reports its own stages (prefixed "shardN.") and a shared database
+// appears once under its unprefixed name. Call after Run.
 func (c *Cloud) BottleneckReport() []StageUtilization {
 	var out []StageUtilization
-	rr := c.mgr.Resources()
-	out = append(out,
-		StageUtilization{Stage: "mgmt.threads", Utilization: rr.Threads.Utilization, MeanQueue: rr.Threads.MeanQueueLen},
-		StageUtilization{Stage: "mgmt.admission", Utilization: rr.Admission.Utilization, MeanQueue: rr.Admission.MeanQueueLen},
-	)
-	if wal, ok := c.mgr.WALStats(); ok {
-		out = append(out, StageUtilization{Stage: "mgmt.db(wal)", Utilization: wal.FlushStats.Utilization, MeanQueue: wal.FlushStats.MeanQueueLen})
-	} else {
-		out = append(out, StageUtilization{Stage: "mgmt.db", Utilization: rr.DB.Utilization, MeanQueue: rr.DB.MeanQueueLen})
+	sharedDB := c.plane.ShardCount() > 1 && c.plane.Config().DB == plane.DBShared
+	for i, mgr := range c.plane.Shards() {
+		label := mgr.Config().Label
+		rr := mgr.Resources()
+		out = append(out,
+			StageUtilization{Stage: label + "mgmt.threads", Utilization: rr.Threads.Utilization, MeanQueue: rr.Threads.MeanQueueLen},
+			StageUtilization{Stage: label + "mgmt.admission", Utilization: rr.Admission.Utilization, MeanQueue: rr.Admission.MeanQueueLen},
+		)
+		if sharedDB && i > 0 {
+			continue // one shared database, reported once below
+		}
+		dbLabel := label
+		if sharedDB {
+			dbLabel = ""
+		}
+		if wal, ok := mgr.WALStats(); ok {
+			out = append(out, StageUtilization{Stage: dbLabel + "mgmt.db(wal)", Utilization: wal.FlushStats.Utilization, MeanQueue: wal.FlushStats.MeanQueueLen})
+		} else {
+			rr := mgr.Resources()
+			out = append(out, StageUtilization{Stage: dbLabel + "mgmt.db", Utilization: rr.DB.Utilization, MeanQueue: rr.DB.MeanQueueLen})
+		}
 	}
 	for i, s := range c.dir.Stats().Cells {
 		out = append(out, StageUtilization{
@@ -319,7 +404,7 @@ func (c *Cloud) BottleneckReport() []StageUtilization {
 		})
 	}
 	var busyAgent StageUtilization
-	for _, a := range c.mgr.Agents().All() {
+	for _, a := range c.plane.Home().Agents().All() {
 		s := a.Stats().Util
 		if s.Utilization >= busyAgent.Utilization {
 			// Resource names already carry the "hostagent:" prefix.

@@ -15,6 +15,7 @@ import (
 	"cloudmcp/internal/metrics"
 	"cloudmcp/internal/mgmt"
 	"cloudmcp/internal/ops"
+	"cloudmcp/internal/plane"
 	"cloudmcp/internal/report"
 	"cloudmcp/internal/rng"
 	"cloudmcp/internal/sim"
@@ -456,6 +457,14 @@ type ClosedLoopResult struct {
 	// Metrics is the end-of-run per-layer snapshot, nil unless
 	// cfg.Metrics was set. It never affects the numbers above.
 	Metrics *metrics.Snapshot
+	// DBUtil is the management database's mean utilization: the shared
+	// instance's on a shared-DB plane, the mean across instances on a
+	// per-shard plane.
+	DBUtil float64
+	// Plane reports the run's management-plane topology and cross-shard
+	// coordination counters (Shards == 1, zero counters on the default
+	// single-shard plane).
+	Plane plane.Stats
 }
 
 // RunClosedLoop drives `clients` closed-loop deploy→destroy workers
@@ -502,10 +511,12 @@ func RunClosedLoop(cfg Config, clients int, horizonS, warmupS float64) (ClosedLo
 		Deploys:        len(deploys),
 		Errors:         len(all) - len(deploys),
 		Metrics:        c.MetricsSnapshot(),
+		DBUtil:         c.DBUtilization(),
+		Plane:          c.Plane().Stats(),
 	}
 	if cfg.Faults != nil {
-		res.Retry = c.Manager().RetryStats()
-		res.Goodput = c.Manager().Goodput()
+		res.Retry = c.Plane().RetryStats()
+		res.Goodput = c.Plane().Goodput()
 	}
 	return res, nil
 }

@@ -109,14 +109,22 @@ func TestFaultsEnabledRunsAreDeterministic(t *testing.T) {
 	}
 }
 
-func TestExtensionRegistryCoversE17(t *testing.T) {
+func TestExtensionRegistryCoversE17AndE18(t *testing.T) {
 	exts := Extensions()
-	if len(exts) != 1 || exts[0].Name != "E17" {
-		t.Fatalf("extensions = %+v, want [E17]", exts)
+	want := []string{"E17", "E18"}
+	if len(exts) != len(want) {
+		t.Fatalf("extensions = %+v, want %v", exts, want)
+	}
+	for i, name := range want {
+		if exts[i].Name != name {
+			t.Fatalf("extensions[%d] = %q, want %q", i, exts[i].Name, name)
+		}
 	}
 	for _, e := range Experiments() {
-		if e.Name == "E17" {
-			t.Fatal("E17 leaked into the default suite; pre-faults artifacts would change")
+		for _, name := range want {
+			if e.Name == name {
+				t.Fatalf("%s leaked into the default suite; default artifacts would change", name)
+			}
 		}
 	}
 }

@@ -81,13 +81,17 @@ func Experiments() []Experiment {
 }
 
 // Extensions returns opt-in experiments that are not part of the
-// default suite. E17 enables fault injection, so folding it into RunAll
-// would grow the default artifact; it runs via RunExperiment (mcpbench
-// -only E17) or mcpbench -faults instead.
+// default suite. E17 enables fault injection and E18 reshapes the
+// management-plane topology, so folding either into RunAll would grow
+// the default artifact; they run via RunExperiment (mcpbench -only
+// E17/E18), mcpbench -faults, or mcpbench -shards instead.
 func Extensions() []Experiment {
 	return []Experiment{
 		{"E17", func(seed int64, scale float64, workers int) (Renderable, error) {
 			return RunE17(E17Params{Seed: seed, HorizonS: 1800 * scale, Workers: workers})
+		}},
+		{"E18", func(seed int64, scale float64, workers int) (Renderable, error) {
+			return RunE18(E18Params{Seed: seed, HorizonS: 1800 * scale, Workers: workers})
 		}},
 	}
 }
@@ -108,7 +112,7 @@ func RunExperiment(name string, seed int64, quick bool, workers int) (Renderable
 			return r, nil
 		}
 	}
-	return nil, fmt.Errorf("unknown experiment %q (want E1..E17)", name)
+	return nil, fmt.Errorf("unknown experiment %q (want E1..E18)", name)
 }
 
 // RunAllOptions tunes the parallel suite run.

@@ -46,10 +46,20 @@ type PassRecord struct {
 	SpreadAfter  float64
 }
 
-// Balancer is the DRS service for one manager.
+// API is the slice of the management plane the balancer needs: reading
+// the inventory and submitting migrations. Both *mgmt.Manager and a
+// sharded plane satisfy it, so DRS moves route to the shard owning the
+// source host (crossing shards through the plane's coordinator when the
+// destination lives elsewhere).
+type API interface {
+	Inventory() *inventory.Inventory
+	Migrate(p *sim.Proc, vm *inventory.VM, dst *inventory.Host, ctx mgmt.ReqCtx) *mgmt.Task
+}
+
+// Balancer is the DRS service for one management plane.
 type Balancer struct {
 	env *sim.Env
-	mgr *mgmt.Manager
+	mgr API
 	cfg Config
 
 	passes    []PassRecord
@@ -59,7 +69,7 @@ type Balancer struct {
 }
 
 // New builds a balancer.
-func New(env *sim.Env, mgr *mgmt.Manager, cfg Config) (*Balancer, error) {
+func New(env *sim.Env, mgr API, cfg Config) (*Balancer, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}

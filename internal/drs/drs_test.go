@@ -8,7 +8,7 @@ import (
 	"cloudmcp/internal/ops"
 	"cloudmcp/internal/rng"
 	"cloudmcp/internal/sim"
-	"cloudmcp/internal/storage"
+	"cloudmcp/internal/testfix"
 )
 
 type fixture struct {
@@ -23,28 +23,18 @@ type fixture struct {
 
 func newFixture(t *testing.T, cfg Config) *fixture {
 	t.Helper()
-	env := sim.NewEnv()
-	inv := inventory.New()
-	dc := inv.AddDatacenter("dc")
-	cl := inv.AddCluster(dc, "cl")
-	var hosts []*inventory.Host
-	for i := 0; i < 3; i++ {
-		hosts = append(hosts, inv.AddHost(cl, "h", 40000, 32768))
-	}
-	ds := inv.AddDatastore(dc, "ds", 4000, 300)
-	tpl := inv.AddTemplate(ds, "tpl", 16, 2048, 2)
-	pool := storage.NewPool(env, inv)
-	model := ops.DefaultCostModel()
-	model.CV = 0
-	mgr, err := mgmt.New(env, inv, pool, model, rng.Derive(1, "m"), mgmt.DefaultConfig())
+	fx := testfix.New(testfix.Options{Hosts: 3, HostMemMB: 32768,
+		Datastores: 1, DatastoreMBps: 300, TemplateGB: 16})
+	mgr, err := mgmt.New(fx.Env, fx.Inv, fx.Pool, fx.Model, rng.Derive(1, "m"), mgmt.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	bal, err := New(env, mgr, cfg)
+	bal, err := New(fx.Env, mgr, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &fixture{env: env, inv: inv, mgr: mgr, bal: bal, hosts: hosts, ds: ds, tpl: tpl}
+	return &fixture{env: fx.Env, inv: fx.Inv, mgr: mgr, bal: bal,
+		hosts: fx.Hosts, ds: fx.DS[0], tpl: fx.Tpl}
 }
 
 // loadHost puts n powered-on 2 GB VMs on host.

@@ -67,6 +67,31 @@ type Config struct {
 	HostSlots   int             // per-host agent operation slots
 	Granularity LockGranularity // inventory lock granularity
 
+	// Label prefixes the manager's resource names (admission, threads,
+	// DB, locks) and metrics keys. A multi-shard plane (internal/plane)
+	// sets it to "shardN." so per-shard series stay distinguishable; the
+	// empty default keeps every name exactly as a single-manager
+	// installation has always reported it.
+	Label string
+
+	// SharedDB, when non-nil, replaces the manager's own connection pool
+	// with an externally-owned one, so several manager shards contend on
+	// one management database (the plane's shared-DB mode). DBConns is
+	// ignored when set.
+	SharedDB *sim.Resource
+
+	// SharedWAL likewise substitutes an externally-owned detailed WAL
+	// database for the one Database would build, sharing group-commit
+	// batching (and its queue) across shards. Takes precedence over
+	// Database.
+	SharedWAL *mgmtdb.DB
+
+	// SharedAgents substitutes an externally-owned host-agent registry.
+	// Host agents model per-host daemons — physical objects that exist
+	// once no matter how the management plane is sharded — so a
+	// multi-shard plane builds one registry and hands it to every shard.
+	SharedAgents *hostsim.Registry
+
 	// Database selects the detailed WAL database model (package mgmtdb)
 	// instead of the default aggregate-service-time model. When set,
 	// DBConns is ignored in favour of Database.Conns, and each
@@ -253,22 +278,33 @@ func New(env *sim.Env, inv *inventory.Inventory, pool *storage.Pool, model *ops.
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
+	agents := cfg.SharedAgents
+	if agents == nil {
+		agents = hostsim.NewRegistry(env, inv, cfg.HostSlots)
+	}
 	m := &Manager{
 		env:       env,
 		inv:       inv,
 		pool:      pool,
-		agents:    hostsim.NewRegistry(env, inv, cfg.HostSlots),
+		agents:    agents,
 		model:     model,
 		stream:    stream,
 		cfg:       cfg,
-		admission: sim.NewResource(env, "mgmt.admission", cfg.MaxInFlight),
-		threads:   sim.NewResource(env, "mgmt.threads", cfg.Threads),
-		db:        sim.NewResource(env, "mgmt.db", cfg.DBConns),
+		admission: sim.NewResource(env, cfg.Label+"mgmt.admission", cfg.MaxInFlight),
+		threads:   sim.NewResource(env, cfg.Label+"mgmt.threads", cfg.Threads),
 		locks:     make(map[inventory.ID]*sim.Resource),
-		global:    sim.NewResource(env, "mgmt.globallock", 1),
+		global:    sim.NewResource(env, cfg.Label+"mgmt.globallock", 1),
 		perKind:   make(map[ops.Kind]*kindStats),
 	}
-	if cfg.Database != nil {
+	if cfg.SharedDB != nil {
+		m.db = cfg.SharedDB
+	} else {
+		m.db = sim.NewResource(env, cfg.Label+"mgmt.db", cfg.DBConns)
+	}
+	switch {
+	case cfg.SharedWAL != nil:
+		m.waldb = cfg.SharedWAL
+	case cfg.Database != nil:
 		waldb, err := mgmtdb.New(env, *cfg.Database)
 		if err != nil {
 			return nil, err
@@ -296,25 +332,28 @@ func (m *Manager) registerMetrics(reg *metrics.Registry) {
 	}
 	m.admission.RegisterMetrics("mgmt")
 	m.threads.RegisterMetrics("mgmt")
-	if m.waldb == nil {
+	if m.waldb == nil && m.cfg.SharedDB == nil {
 		m.db.RegisterMetrics("mgmt")
 	}
 	if m.cfg.Granularity == GranularityCoarse {
 		m.global.RegisterMetrics("mgmt")
 	}
-	m.lockWait = reg.Histogram("mgmt", "inventory.locks", "wait_s")
-	m.taskLat = reg.Histogram("mgmt", "tasks", "latency_s")
-	reg.ScalarFunc("mgmt", "tasks", "completed", func() float64 { return float64(m.nextTaskID) })
-	reg.ScalarFunc("mgmt", "tasks", "errors", func() float64 { return float64(m.errs) })
-	reg.ScalarFunc("mgmt", "inventory.locks", "live", func() float64 { return float64(len(m.locks)) })
+	// The Label prefix keeps per-shard series from colliding in the
+	// registry (duplicate keys replace the probe); a single manager has
+	// an empty label and registers exactly the historical keys.
+	m.lockWait = reg.Histogram("mgmt", m.cfg.Label+"inventory.locks", "wait_s")
+	m.taskLat = reg.Histogram("mgmt", m.cfg.Label+"tasks", "latency_s")
+	reg.ScalarFunc("mgmt", m.cfg.Label+"tasks", "completed", func() float64 { return float64(m.nextTaskID) })
+	reg.ScalarFunc("mgmt", m.cfg.Label+"tasks", "errors", func() float64 { return float64(m.errs) })
+	reg.ScalarFunc("mgmt", m.cfg.Label+"inventory.locks", "live", func() float64 { return float64(len(m.locks)) })
 	if m.cfg.Faults != nil {
 		// Retry/failure/goodput series exist only when faults can occur,
 		// keeping uninstrumented snapshots identical to pre-faults runs.
-		reg.ScalarFunc("mgmt", "retry", "attempts", func() float64 { return float64(m.retry.Attempts) })
-		reg.ScalarFunc("mgmt", "retry", "faults", func() float64 { return float64(m.retry.Faults) })
-		reg.ScalarFunc("mgmt", "retry", "retries", func() float64 { return float64(m.retry.Retries) })
-		reg.ScalarFunc("mgmt", "retry", "giveups", func() float64 { return float64(m.retry.GiveUps) })
-		reg.ScalarFunc("mgmt", "retry", "goodput_frac", func() float64 {
+		reg.ScalarFunc("mgmt", m.cfg.Label+"retry", "attempts", func() float64 { return float64(m.retry.Attempts) })
+		reg.ScalarFunc("mgmt", m.cfg.Label+"retry", "faults", func() float64 { return float64(m.retry.Faults) })
+		reg.ScalarFunc("mgmt", m.cfg.Label+"retry", "retries", func() float64 { return float64(m.retry.Retries) })
+		reg.ScalarFunc("mgmt", m.cfg.Label+"retry", "giveups", func() float64 { return float64(m.retry.GiveUps) })
+		reg.ScalarFunc("mgmt", m.cfg.Label+"retry", "goodput_frac", func() float64 {
 			if m.nextTaskID == 0 {
 				return 0
 			}

@@ -11,6 +11,7 @@ import (
 	"cloudmcp/internal/rng"
 	"cloudmcp/internal/sim"
 	"cloudmcp/internal/storage"
+	"cloudmcp/internal/testfix"
 )
 
 type fixture struct {
@@ -27,24 +28,13 @@ type fixture struct {
 // template. The cost model's CV is zeroed for deterministic stage times.
 func newFixture(t *testing.T, cfg Config) *fixture {
 	t.Helper()
-	env := sim.NewEnv()
-	inv := inventory.New()
-	dc := inv.AddDatacenter("dc0")
-	cl := inv.AddCluster(dc, "cl0")
-	h0 := inv.AddHost(cl, "h0", 40000, 131072)
-	h1 := inv.AddHost(cl, "h1", 40000, 131072)
-	d0 := inv.AddDatastore(dc, "ds0", 4000, 200)
-	d1 := inv.AddDatastore(dc, "ds1", 4000, 200)
-	tpl := inv.AddTemplate(d0, "tpl0", 20, 2048, 2)
-	pool := storage.NewPool(env, inv)
-	model := ops.DefaultCostModel()
-	model.CV = 0
-	mgr, err := New(env, inv, pool, model, rng.Derive(1, "mgmt-test"), cfg)
+	fx := testfix.New(testfix.Options{})
+	mgr, err := New(fx.Env, fx.Inv, fx.Pool, fx.Model, rng.Derive(1, "mgmt-test"), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &fixture{env: env, inv: inv, pool: pool, mgr: mgr,
-		hosts: []*inventory.Host{h0, h1}, ds: []*inventory.Datastore{d0, d1}, tpl: tpl}
+	return &fixture{env: fx.Env, inv: fx.Inv, pool: fx.Pool, mgr: mgr,
+		hosts: fx.Hosts, ds: fx.DS, tpl: fx.Tpl}
 }
 
 func TestDeployFullVsLinkedShape(t *testing.T) {

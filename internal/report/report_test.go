@@ -3,6 +3,8 @@ package report
 import (
 	"strings"
 	"testing"
+
+	"cloudmcp/internal/metrics"
 )
 
 func TestTableRender(t *testing.T) {
@@ -135,5 +137,123 @@ func TestMarkdownRaggedRows(t *testing.T) {
 	tb.RenderMarkdown(&sb)
 	if !strings.Contains(sb.String(), "| x | extra |") {
 		t.Fatalf("ragged markdown:\n%s", sb.String())
+	}
+}
+
+// Edge cases for the derived tables: empty inputs must yield nil (so
+// callers can skip rendering), single rows must not divide by zero, and
+// an idle snapshot must still rank deterministically.
+
+func renderString(t *testing.T, tb *Table) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestGoodputTableEmpty(t *testing.T) {
+	if GoodputTable(nil) != nil {
+		t.Fatal("empty goodput rows must render as nil")
+	}
+	if GoodputTable([]GoodputRow{}) != nil {
+		t.Fatal("zero-length goodput rows must render as nil")
+	}
+}
+
+func TestGoodputTableSingleRow(t *testing.T) {
+	out := renderString(t, GoodputTable([]GoodputRow{
+		{Kind: "deploy", Tasks: 10, OK: 8, Attempts: 14, GiveUps: 2},
+	}))
+	for _, want := range []string{"deploy", "total", "80.0", "1.4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("goodput table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("goodput table leaked a non-finite value:\n%s", out)
+	}
+}
+
+func TestGoodputTableZeroTasks(t *testing.T) {
+	// A kind that never completed a task: goodput and amplification are
+	// undefined and must render as 0, not NaN.
+	out := renderString(t, GoodputTable([]GoodputRow{{Kind: "migrate"}}))
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("zero-task goodput rendered NaN:\n%s", out)
+	}
+}
+
+func TestBottleneckTableNilSnapshot(t *testing.T) {
+	if BottleneckTable(nil, 5) != nil {
+		t.Fatal("nil snapshot must render as nil")
+	}
+	if Bottleneck(nil) != "" {
+		t.Fatal("nil snapshot bottleneck must be empty")
+	}
+}
+
+func TestBottleneckTableEmptySnapshot(t *testing.T) {
+	s := &metrics.Snapshot{AtS: 10}
+	out := renderString(t, BottleneckTable(s, 5))
+	if !strings.Contains(out, "top 0 resources") {
+		t.Fatalf("empty snapshot table:\n%s", out)
+	}
+	if Bottleneck(s) != "" {
+		t.Fatal("empty snapshot bottleneck must be empty")
+	}
+}
+
+func TestBottleneckTableSingleRow(t *testing.T) {
+	s := &metrics.Snapshot{Resources: []metrics.ResourceRow{
+		{Layer: "mgmt", Resource: "threads", ResourceSample: metrics.ResourceSample{Capacity: 16, Utilization: 0.5, TotalWaitS: 3}},
+	}}
+	out := renderString(t, BottleneckTable(s, 5))
+	if !strings.Contains(out, "threads") || !strings.Contains(out, "100") {
+		t.Fatalf("single-row table (expects 100%% wait share):\n%s", out)
+	}
+	if got := Bottleneck(s); got != "mgmt/threads" {
+		t.Fatalf("bottleneck = %q", got)
+	}
+}
+
+func TestBottleneckTableAllZeroUtilization(t *testing.T) {
+	// An idle cloud: no utilization, no queue waits. The ranking must
+	// stay deterministic (layer, resource order) and wait shares 0, not
+	// NaN from the 0/0 division.
+	s := &metrics.Snapshot{Resources: []metrics.ResourceRow{
+		{Layer: "mgmt", Resource: "b"},
+		{Layer: "mgmt", Resource: "a"},
+		{Layer: "host", Resource: "z"},
+	}}
+	out := renderString(t, BottleneckTable(s, 0))
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("all-zero snapshot rendered NaN:\n%s", out)
+	}
+	za := strings.Index(out, "host")
+	if za < 0 || za > strings.Index(out, "mgmt") {
+		t.Fatalf("all-zero ranking not deterministic:\n%s", out)
+	}
+	if got := Bottleneck(s); got != "host/z" {
+		t.Fatalf("bottleneck tie-break = %q, want host/z", got)
+	}
+}
+
+func TestShardTableEmpty(t *testing.T) {
+	if ShardTable(nil) != nil {
+		t.Fatal("empty shard rows must render as nil")
+	}
+}
+
+func TestCrossShardTableZeroTasks(t *testing.T) {
+	if CrossShardTable(0, 0, 0) != nil {
+		t.Fatal("cross-shard table with no tasks must render as nil")
+	}
+	out := renderString(t, CrossShardTable(5, 100, 1.25))
+	for _, want := range []string{"cross-shard", "5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cross-shard table missing %q:\n%s", want, out)
+		}
 	}
 }

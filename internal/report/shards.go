@@ -1,0 +1,44 @@
+package report
+
+// Per-shard management-plane reporting. Rows are layer-agnostic (plain
+// strings and numbers) so the renderer does not depend on the plane
+// package; core's ShardReport maps onto it.
+
+// ShardRow is one management shard's utilization summary.
+type ShardRow struct {
+	Shard          string  // "shard0", "shard1", ...
+	Hosts          int     // hosts the shard owns
+	Tasks          int64   // tasks it completed
+	ThreadsUtil    float64 // worker-thread utilization
+	AdmissionQueue float64 // mean admission queue length
+	DBUtil         float64 // its database's utilization (shared mode: the one instance on every row)
+}
+
+// ShardTable renders per-shard utilization rows. Returns nil for an
+// empty row set so single-manager callers can skip rendering cleanly.
+func ShardTable(rows []ShardRow) *Table {
+	if len(rows) == 0 {
+		return nil
+	}
+	t := NewTable("management plane shards",
+		"shard", "hosts", "tasks", "threads util", "admission q", "db util")
+	for _, r := range rows {
+		t.AddRow(r.Shard, r.Hosts, r.Tasks, r.ThreadsUtil, r.AdmissionQueue, r.DBUtil)
+	}
+	return t
+}
+
+// CrossShardTable renders the two-phase coordinator's accounting: how
+// many operations crossed a shard boundary, their share of all tasks,
+// and the seconds spent in prepare/commit round-trips. Returns nil when
+// no tasks ran (share would be undefined).
+func CrossShardTable(crossOps, totalTasks int64, coordS float64) *Table {
+	if totalTasks <= 0 {
+		return nil
+	}
+	t := NewTable("cross-shard coordination", "metric", "value")
+	t.AddRow("cross-shard ops", crossOps)
+	t.AddRow("share of tasks %", 100*float64(crossOps)/float64(totalTasks))
+	t.AddRow("coordinator DB round-trip s", coordS)
+	return t
+}

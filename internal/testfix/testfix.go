@@ -1,0 +1,88 @@
+// Package testfix builds the small simulated installations shared by the
+// mgmt, clouddir, drs, ha, and plane test suites. Before it existed each
+// package grew its own copy of the same datacenter/cluster/hosts/
+// datastores/template/pool/cost-model boilerplate, and the copies had
+// already drifted in host counts and disk sizes for no test-relevant
+// reason. The fixture stops at the layer the packages share — everything
+// below the management plane; constructing the manager (or plane, or
+// director) under test stays in each package, where its config belongs.
+package testfix
+
+import (
+	"fmt"
+
+	"cloudmcp/internal/inventory"
+	"cloudmcp/internal/ops"
+	"cloudmcp/internal/sim"
+	"cloudmcp/internal/storage"
+)
+
+// Options sizes the installation. Zero values take the defaults noted on
+// each field, so Options{} is the canonical 2-host/2-datastore setup the
+// mgmt tests use.
+type Options struct {
+	Hosts         int     // hypervisor hosts, default 2
+	HostCPUMHz    int     // per-host CPU, default 40000
+	HostMemMB     int     // per-host memory, default 131072
+	Datastores    int     // shared datastores, default 2
+	DatastoreGB   float64 // per-datastore capacity, default 4000
+	DatastoreMBps float64 // per-datastore bandwidth, default 200
+	TemplateGB    float64 // template disk, default 20
+	TemplateMemMB int     // template memory, default 2048
+}
+
+// Fix is one constructed installation: everything a control-plane test
+// needs below the manager.
+type Fix struct {
+	Env   *sim.Env
+	Inv   *inventory.Inventory
+	Pool  *storage.Pool
+	Model *ops.CostModel // CV zeroed for deterministic stage times
+	Hosts []*inventory.Host
+	DS    []*inventory.Datastore
+	Tpl   *inventory.Template // 1 template, homed on DS[0]
+}
+
+// New builds a fresh installation per the options.
+func New(o Options) *Fix {
+	if o.Hosts == 0 {
+		o.Hosts = 2
+	}
+	if o.HostCPUMHz == 0 {
+		o.HostCPUMHz = 40000
+	}
+	if o.HostMemMB == 0 {
+		o.HostMemMB = 131072
+	}
+	if o.Datastores == 0 {
+		o.Datastores = 2
+	}
+	if o.DatastoreGB == 0 {
+		o.DatastoreGB = 4000
+	}
+	if o.DatastoreMBps == 0 {
+		o.DatastoreMBps = 200
+	}
+	if o.TemplateGB == 0 {
+		o.TemplateGB = 20
+	}
+	if o.TemplateMemMB == 0 {
+		o.TemplateMemMB = 2048
+	}
+	env := sim.NewEnv()
+	inv := inventory.New()
+	dc := inv.AddDatacenter("dc0")
+	cl := inv.AddCluster(dc, "cl0")
+	f := &Fix{Env: env, Inv: inv}
+	for i := 0; i < o.Hosts; i++ {
+		f.Hosts = append(f.Hosts, inv.AddHost(cl, fmt.Sprintf("h%d", i), o.HostCPUMHz, o.HostMemMB))
+	}
+	for i := 0; i < o.Datastores; i++ {
+		f.DS = append(f.DS, inv.AddDatastore(dc, fmt.Sprintf("ds%d", i), o.DatastoreGB, o.DatastoreMBps))
+	}
+	f.Tpl = inv.AddTemplate(f.DS[0], "tpl0", o.TemplateGB, o.TemplateMemMB, 2)
+	f.Pool = storage.NewPool(env, inv)
+	f.Model = ops.DefaultCostModel()
+	f.Model.CV = 0
+	return f
+}
