@@ -16,12 +16,26 @@
 //	mcpbench -faults         # E17 goodput-under-faults, default rate grid
 //	mcpbench -fault-rate 0.3 # E17 sweeping rates {0, 0.075, 0.15, 0.3}
 //	mcpbench -shards 8       # E18 scale-out, sweeping shards {1, 2, 4, 8}
+//
+// Performance instrumentation (reproducible-profiling hooks):
+//
+//	mcpbench -quick -cpuprofile cpu.pprof   # CPU profile of the run
+//	mcpbench -quick -memprofile mem.pprof   # heap profile at exit
+//	mcpbench -bench-kernel BENCH_kernel.json # kernel micro-benchmarks
+//
+// All stdout writes are buffered and the final flush is checked, so a
+// full disk or closed pipe exits non-zero instead of silently truncating
+// an artifact.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"cloudmcp/internal/core"
@@ -39,6 +53,9 @@ func main() {
 	withFaults := flag.Bool("faults", false, "run E17: goodput and latency under injected control-plane faults")
 	faultRate := flag.Float64("fault-rate", 0, "highest injected fault rate for E17's sweep grid (0 = default grid; implies -faults)")
 	shards := flag.Int("shards", 0, "run E18: management-plane scale-out, sweeping shard counts up to this power of two (0 = off)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	benchOut := flag.String("bench-kernel", "", "run the kernel micro-benchmark suite and write BENCH_kernel-style JSON to this file instead of the experiment suite")
 	flag.Parse()
 
 	// Reject inconsistent flag values up front with a clear message and
@@ -56,44 +73,98 @@ func main() {
 		fatal(fmt.Errorf("-shards (E18) and -faults (E17) are separate benches; pick one, or use -only"))
 	}
 
-	if *shards > 0 {
-		if err := shardsBench(*seed, *quick, *workers, *shards); err != nil {
-			fatal(err)
-		}
-		return
-	}
-	if *withFaults || *faultRate > 0 {
-		if err := faultsBench(*seed, *quick, *workers, *faultRate); err != nil {
-			fatal(err)
-		}
-		return
-	}
-	if *showMetrics || *metricsOut != "" {
-		if err := metricsProbe(*seed, *quick, *metricsOut); err != nil {
-			fatal(err)
-		}
-		return
-	}
-	if *only != "" {
-		res, err := core.RunExperiment(*only, *seed, *quick, *workers)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			fatal(err)
 		}
-		if err := res.Render(os.Stdout); err != nil {
+		if err := pprof.StartCPUProfile(f); err != nil {
 			fatal(err)
 		}
-		return
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal(fmt.Errorf("close %s: %w", *cpuProfile, err))
+			}
+		}()
 	}
-	opts := core.RunAllOptions{Workers: *workers}
-	if *progress {
+
+	// Everything destined for stdout goes through one buffered writer
+	// whose errors are sticky; the checked Flush below is what turns a
+	// write failure anywhere in the run into a non-zero exit.
+	out := bufio.NewWriter(os.Stdout)
+	err := run(out, options{
+		seed: *seed, quick: *quick, only: *only, workers: *workers,
+		progress: *progress, showMetrics: *showMetrics, metricsOut: *metricsOut,
+		withFaults: *withFaults, faultRate: *faultRate, shards: *shards,
+		benchOut: *benchOut,
+	})
+	if ferr := out.Flush(); err == nil && ferr != nil {
+		err = fmt.Errorf("write stdout: %w", ferr)
+	}
+	if err == nil && *memProfile != "" {
+		err = writeHeapProfile(*memProfile)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+type options struct {
+	seed        int64
+	quick       bool
+	only        string
+	workers     int
+	progress    bool
+	showMetrics bool
+	metricsOut  string
+	withFaults  bool
+	faultRate   float64
+	shards      int
+	benchOut    string
+}
+
+// run dispatches to the selected bench, writing every artifact to w.
+func run(w io.Writer, o options) error {
+	switch {
+	case o.benchOut != "":
+		return benchKernel(w, o.benchOut, o.seed)
+	case o.shards > 0:
+		return shardsBench(w, o.seed, o.quick, o.workers, o.shards)
+	case o.withFaults || o.faultRate > 0:
+		return faultsBench(w, o.seed, o.quick, o.workers, o.faultRate)
+	case o.showMetrics || o.metricsOut != "":
+		return metricsProbe(w, o.seed, o.quick, o.metricsOut)
+	case o.only != "":
+		res, err := core.RunExperiment(o.only, o.seed, o.quick, o.workers)
+		if err != nil {
+			return err
+		}
+		return res.Render(w)
+	}
+	opts := core.RunAllOptions{Workers: o.workers}
+	if o.progress {
 		opts.Progress = func(done, total int, elapsed time.Duration) {
 			fmt.Fprintf(os.Stderr, "mcpbench: %d/%d experiments done (%.1fs)\n",
 				done, total, elapsed.Seconds())
 		}
 	}
-	if err := core.RunAllWith(os.Stdout, *seed, *quick, opts); err != nil {
-		fatal(err)
+	return core.RunAllWith(w, o.seed, o.quick, opts)
+}
+
+// writeHeapProfile forces a GC so the profile reflects live objects, then
+// writes the heap profile.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
+	runtime.GC()
+	err = pprof.WriteHeapProfile(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("close %s: %w", path, cerr)
+	}
+	return err
 }
 
 // shardsBench runs E18 — closed-loop provisioning throughput, p99
@@ -101,7 +172,7 @@ func main() {
 // shared and per-shard database modes, plus the cross-shard
 // coordination leg. max bounds the grid: shard counts are the powers of
 // two up to max (so -shards 8 sweeps {1, 2, 4, 8}).
-func shardsBench(seed int64, quick bool, workers, max int) error {
+func shardsBench(w io.Writer, seed int64, quick bool, workers, max int) error {
 	scale := 1.0
 	if quick {
 		scale = 0.1
@@ -116,14 +187,14 @@ func shardsBench(seed int64, quick bool, workers, max int) error {
 	if err != nil {
 		return err
 	}
-	return res.Render(os.Stdout)
+	return res.Render(w)
 }
 
 // faultsBench runs E17 — closed-loop deploy goodput, tail latency, and
 // retry amplification versus injected fault rate, plus an HA restart
 // storm against the same faulty control plane. rate > 0 replaces the
 // default grid with {0, rate/4, rate/2, rate}.
-func faultsBench(seed int64, quick bool, workers int, rate float64) error {
+func faultsBench(w io.Writer, seed int64, quick bool, workers int, rate float64) error {
 	scale := 1.0
 	if quick {
 		scale = 0.1
@@ -136,7 +207,7 @@ func faultsBench(seed int64, quick bool, workers int, rate float64) error {
 	if err != nil {
 		return err
 	}
-	return res.Render(os.Stdout)
+	return res.Render(w)
 }
 
 // metricsProbe reruns the linked-clone closed loop at the concurrency
@@ -144,7 +215,7 @@ func faultsBench(seed int64, quick bool, workers int, rate float64) error {
 // the per-layer metrics registry enabled, and prints which resource is
 // saturating there. Metrics are pull-based, so the probe's numbers match
 // an uninstrumented run of the same configuration exactly.
-func metricsProbe(seed int64, quick bool, outPath string) error {
+func metricsProbe(w io.Writer, seed int64, quick bool, outPath string) error {
 	cfg := core.DefaultConfig(seed)
 	cfg.Director.FastProvisioning = true
 	cfg.Director.RebalanceThreshold = 0 // isolate provisioning, as E6 does
@@ -158,17 +229,32 @@ func metricsProbe(seed int64, quick bool, outPath string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("metrics probe: linked clones, %d closed-loop workers, %.0f min horizon\n", clients, horizon/60)
-	fmt.Printf("deploys/hour %.1f  mean latency %.2fs  p95 %.2fs  errors %d\n\n",
-		res.DeploysPerHour, res.MeanLatencyS, res.P95LatencyS, res.Errors)
-	if err := res.Metrics.WriteASCII(os.Stdout); err != nil {
+	return probeReport(w, res, clients, horizon, outPath)
+}
+
+// probeReport renders the probe's summary, metrics tables, and optional
+// snapshot file. Every write error is propagated so a broken pipe or
+// full disk exits non-zero.
+func probeReport(w io.Writer, res core.ClosedLoopResult, clients int, horizon float64, outPath string) error {
+	if _, err := fmt.Fprintf(w, "metrics probe: linked clones, %d closed-loop workers, %.0f min horizon\n", clients, horizon/60); err != nil {
 		return err
 	}
-	fmt.Println()
-	if err := report.BottleneckTable(res.Metrics, 10).Render(os.Stdout); err != nil {
+	if _, err := fmt.Fprintf(w, "deploys/hour %.1f  mean latency %.2fs  p95 %.2fs  errors %d\n\n",
+		res.DeploysPerHour, res.MeanLatencyS, res.P95LatencyS, res.Errors); err != nil {
 		return err
 	}
-	fmt.Printf("\nsaturating resource: %s\n", report.Bottleneck(res.Metrics))
+	if err := res.Metrics.WriteASCII(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	if err := report.BottleneckTable(res.Metrics, 10).Render(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "\nsaturating resource: %s\n", report.Bottleneck(res.Metrics)); err != nil {
+		return err
+	}
 	if outPath != "" {
 		return res.Metrics.WriteFile(outPath)
 	}

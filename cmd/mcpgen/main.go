@@ -37,42 +37,60 @@ func main() {
 	}
 	cfg := core.DefaultConfig(*seed)
 	cfg.Director.FastProvisioning = *fast
+	// Records stream straight to the output file as tasks complete (the
+	// trace.Writer byte-identity test guarantees the artifact is the same
+	// as the old accumulate-then-dump path), so a 48-hour trace never
+	// holds every record in memory.
+	cfg.Record = false
 	cloud, err := core.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
+
+	f, sw, err := openTrace(*out)
+	if err != nil {
+		fatal(err)
+	}
+	cloud.Plane().AddTaskSink(sw.Sink)
+
 	st, err := cloud.RunProfile(profile, *hours*core.Hour)
 	if err != nil {
 		fatal(err)
 	}
-	recs := cloud.Records()
-
-	f, err := os.Create(*out)
-	if err != nil {
-		fatal(err)
-	}
-	if err := writeTrace(f, *out, recs); err != nil {
+	if err := finishTrace(sw, f, *out); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("mcpgen: wrote %d records (%d vApp requests over %.1f h of %s) to %s\n",
-		len(recs), st.Arrivals, *hours, profile.Name, *out)
+		sw.N(), st.Arrivals, *hours, profile.Name, *out)
 }
 
-// writeTrace writes recs to wc in the format implied by name's extension
-// and closes it. A Close error is reported, not swallowed: the OS may
-// defer write-back until close (NFS, full disks), so a deferred
-// unchecked Close could announce success for a truncated trace.
-func writeTrace(wc io.WriteCloser, name string, recs []trace.Record) error {
-	var err error
+// openTrace creates the output file and a streaming writer in the format
+// implied by name's extension. The extension is validated before the
+// file is created, so a bad -o leaves no empty artifact behind.
+func openTrace(name string) (io.Closer, *trace.Writer, error) {
+	var mk func(io.Writer) *trace.Writer
 	switch {
 	case strings.HasSuffix(name, ".csv"):
-		err = trace.WriteCSV(wc, recs)
+		mk = trace.NewCSVWriter
 	case strings.HasSuffix(name, ".jsonl"):
-		err = trace.WriteJSONL(wc, recs)
+		mk = trace.NewJSONLWriter
 	default:
-		err = fmt.Errorf("unknown trace extension in %q (want .jsonl or .csv)", name)
+		return nil, nil, fmt.Errorf("unknown trace extension in %q (want .jsonl or .csv)", name)
 	}
-	if cerr := wc.Close(); err == nil && cerr != nil {
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, mk(f), nil
+}
+
+// finishTrace flushes the streaming writer and closes the file,
+// reporting the first error. A Close error is reported, not swallowed:
+// the OS may defer write-back until close (NFS, full disks), so a
+// deferred unchecked Close could announce success for a truncated trace.
+func finishTrace(sw *trace.Writer, c io.Closer, name string) error {
+	err := sw.Flush()
+	if cerr := c.Close(); err == nil && cerr != nil {
 		err = fmt.Errorf("close %s: %w", name, cerr)
 	}
 	return err

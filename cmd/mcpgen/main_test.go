@@ -10,24 +10,38 @@ import (
 
 // failingCloser succeeds on every write and fails on Close — the shape
 // of a full-disk or NFS write-back error that only surfaces at close
-// time. The old deferred `f.Close()` dropped that error and mcpgen
-// exited 0 with a truncated trace on disk.
+// time. A deferred unchecked `f.Close()` would drop that error and
+// mcpgen would exit 0 with a truncated trace on disk.
 type failingCloser struct {
 	wrote    int
 	closed   bool
+	writeErr error
 	closeErr error
 }
 
-func (f *failingCloser) Write(p []byte) (int, error) { f.wrote += len(p); return len(p), nil }
-func (f *failingCloser) Close() error                { f.closed = true; return f.closeErr }
+func (f *failingCloser) Write(p []byte) (int, error) {
+	if f.writeErr != nil {
+		return 0, f.writeErr
+	}
+	f.wrote += len(p)
+	return len(p), nil
+}
+func (f *failingCloser) Close() error { f.closed = true; return f.closeErr }
 
 func sampleRecords() []trace.Record {
 	return []trace.Record{{TaskID: 1, Kind: "deploy", Submit: 0, End: 2.5, Latency: 2.5}}
 }
 
-func TestWriteTraceReportsCloseError(t *testing.T) {
+func TestFinishTraceReportsCloseError(t *testing.T) {
 	fc := &failingCloser{closeErr: errors.New("disk quota exceeded")}
-	err := writeTrace(fc, "out.jsonl", sampleRecords())
+	sw := trace.NewJSONLWriter(fc)
+	for _, r := range sampleRecords() {
+		r := r
+		if err := sw.Write(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := finishTrace(sw, fc, "out.jsonl")
 	if err == nil {
 		t.Fatal("Close error was swallowed")
 	}
@@ -42,27 +56,47 @@ func TestWriteTraceReportsCloseError(t *testing.T) {
 	}
 }
 
-func TestWriteTraceSucceedsAndCloses(t *testing.T) {
-	for _, name := range []string{"out.jsonl", "out.csv"} {
-		fc := &failingCloser{}
-		if err := writeTrace(fc, name, sampleRecords()); err != nil {
-			t.Fatalf("%s: %v", name, err)
-		}
-		if !fc.closed {
-			t.Fatalf("%s: writer left open", name)
-		}
+// A write/flush error must win over a close error: the first failure is
+// the root cause. The file is still closed.
+func TestFinishTraceWriteErrorWinsAndCloses(t *testing.T) {
+	fc := &failingCloser{writeErr: errors.New("disk full"), closeErr: errors.New("also broken")}
+	sw := trace.NewJSONLWriter(fc)
+	for _, r := range sampleRecords() {
+		r := r
+		sw.Write(&r)
 	}
-}
-
-// A write error must win over a close error: the first failure is the
-// root cause.
-func TestWriteTraceUnknownExtensionStillCloses(t *testing.T) {
-	fc := &failingCloser{closeErr: errors.New("also broken")}
-	err := writeTrace(fc, "out.xml", sampleRecords())
-	if err == nil || !strings.Contains(err.Error(), "unknown trace extension") {
-		t.Fatalf("got %v, want unknown-extension error", err)
+	err := finishTrace(sw, fc, "out.jsonl")
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("got %v, want the flush failure", err)
 	}
 	if !fc.closed {
 		t.Fatal("writer leaked on the error path")
+	}
+}
+
+func TestFinishTraceSucceedsAndCloses(t *testing.T) {
+	fc := &failingCloser{}
+	sw := trace.NewCSVWriter(fc)
+	for _, r := range sampleRecords() {
+		r := r
+		if err := sw.Write(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := finishTrace(sw, fc, "out.csv"); err != nil {
+		t.Fatal(err)
+	}
+	if !fc.closed {
+		t.Fatal("writer left open")
+	}
+	if fc.wrote == 0 {
+		t.Fatal("no bytes written")
+	}
+}
+
+func TestOpenTraceRejectsUnknownExtension(t *testing.T) {
+	if _, _, err := openTrace(t.TempDir() + "/out.xml"); err == nil ||
+		!strings.Contains(err.Error(), "unknown trace extension") {
+		t.Fatalf("got %v, want unknown-extension error", err)
 	}
 }

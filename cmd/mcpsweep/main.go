@@ -18,9 +18,11 @@
 package main
 
 import (
+	"bufio"
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strconv"
@@ -274,11 +276,30 @@ func main() {
 		headers = append(headers, s.field.name)
 	}
 	headers = append(headers, "deploys/h", "mean lat s", "p95 lat s", "errors")
-	switch *format {
-	case "csv":
-		w := csv.NewWriter(os.Stdout)
-		if err := w.Write(headers); err != nil {
-			fatal(err)
+	title := fmt.Sprintf("mcpsweep: %d-point grid, %.0fs horizon, seed %d",
+		total, *horizon, base.Seed)
+	// Buffer stdout and check the flush: a full disk or closed pipe must
+	// exit non-zero, not silently truncate the grid.
+	out := bufio.NewWriter(os.Stdout)
+	err = renderRows(out, *format, title, headers, rows)
+	if ferr := out.Flush(); err == nil && ferr != nil {
+		err = fmt.Errorf("write stdout: %w", ferr)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *progress {
+		fmt.Fprintf(os.Stderr, "mcpsweep: %d points in %.1fs\n", total, time.Since(start).Seconds())
+	}
+}
+
+// renderRows writes the result grid to w as csv or an ascii table,
+// propagating every write error.
+func renderRows(w io.Writer, format, title string, headers []string, rows []row) error {
+	if format == "csv" {
+		cw := csv.NewWriter(w)
+		if err := cw.Write(headers); err != nil {
+			return err
 		}
 		for _, r := range rows {
 			rec := append([]string{}, r.values...)
@@ -287,34 +308,24 @@ func main() {
 				csvLat(r.res, r.res.MeanLatencyS),
 				csvLat(r.res, r.res.P95LatencyS),
 				strconv.Itoa(r.res.Errors))
-			if err := w.Write(rec); err != nil {
-				fatal(err)
+			if err := cw.Write(rec); err != nil {
+				return err
 			}
 		}
-		w.Flush()
-		if err := w.Error(); err != nil {
-			fatal(err)
-		}
-	default:
-		title := fmt.Sprintf("mcpsweep: %d-point grid, %.0fs horizon, seed %d",
-			total, *horizon, base.Seed)
-		t := report.NewTable(title, headers...)
-		for _, r := range rows {
-			cells := make([]any, 0, len(headers))
-			for _, v := range r.values {
-				cells = append(cells, v)
-			}
-			cells = append(cells, r.res.DeploysPerHour, tableLat(r.res, r.res.MeanLatencyS),
-				tableLat(r.res, r.res.P95LatencyS), r.res.Errors)
-			t.AddRow(cells...)
-		}
-		if err := t.Render(os.Stdout); err != nil {
-			fatal(err)
-		}
+		cw.Flush()
+		return cw.Error()
 	}
-	if *progress {
-		fmt.Fprintf(os.Stderr, "mcpsweep: %d points in %.1fs\n", total, time.Since(start).Seconds())
+	t := report.NewTable(title, headers...)
+	for _, r := range rows {
+		cells := make([]any, 0, len(headers))
+		for _, v := range r.values {
+			cells = append(cells, v)
+		}
+		cells = append(cells, r.res.DeploysPerHour, tableLat(r.res, r.res.MeanLatencyS),
+			tableLat(r.res, r.res.P95LatencyS), r.res.Errors)
+		t.AddRow(cells...)
 	}
+	return t.Render(w)
 }
 
 // A grid point that completed zero deploys has no latency sample; render

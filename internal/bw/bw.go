@@ -20,7 +20,11 @@ type Engine struct {
 
 	active     map[*transfer]struct{}
 	lastUpdate sim.Time
-	timer      *sim.Timer
+	timer      sim.Timer
+
+	// freeT recycles transfer records (and their completion signals) so
+	// steady-state copies do not allocate.
+	freeT []*transfer
 
 	// stats
 	bytesMB      float64
@@ -74,10 +78,8 @@ func (e *Engine) update() {
 // reschedule arms a completion event for the transfer that will finish
 // first under the current sharing level.
 func (e *Engine) reschedule() {
-	if e.timer != nil {
-		e.timer.Stop()
-		e.timer = nil
-	}
+	e.timer.Stop() // no-op when unarmed or already fired
+	e.timer = sim.Timer{}
 	k := len(e.active)
 	if k == 0 {
 		return
@@ -112,12 +114,15 @@ const minDelayS = 1e-6
 const finishEpsMB = 1e-6
 
 func (e *Engine) onComplete() {
-	e.timer = nil
+	e.timer = sim.Timer{}
 	e.update()
 	for t := range e.active {
 		if t.remainingMB <= finishEpsMB {
 			delete(e.active, t)
 			t.done.Fire()
+			// The signal's waiters are already scheduled for wakeup and
+			// nothing else references t, so the record can be recycled.
+			e.freeT = append(e.freeT, t)
 		}
 	}
 	e.reschedule()
@@ -131,7 +136,15 @@ func (e *Engine) Copy(p *sim.Proc, sizeMB float64) {
 		return
 	}
 	e.update()
-	t := &transfer{remainingMB: sizeMB, done: sim.NewSignal(e.env), started: e.env.Now()}
+	var t *transfer
+	if n := len(e.freeT); n > 0 {
+		t = e.freeT[n-1]
+		e.freeT[n-1] = nil
+		e.freeT = e.freeT[:n-1]
+		t.remainingMB, t.started = sizeMB, e.env.Now()
+	} else {
+		t = &transfer{remainingMB: sizeMB, done: sim.NewSignal(e.env), started: e.env.Now()}
+	}
 	e.active[t] = struct{}{}
 	e.transfers++
 	e.bytesMB += sizeMB

@@ -189,10 +189,26 @@ type Stats struct {
 // simulated cloud (its counters, like the rest of the kernel, are
 // single-threaded per run); the per-decision streams mean two injectors
 // with the same seed and config always agree.
+//
+// Decisions are frequent — several per task attempt — so the injector
+// never formats a label or constructs a generator per decision: the FNV
+// state of each "fault:<layer>:" prefix is hashed once at construction
+// (rng.SeedHasher) and extended with the task/attempt digits per draw,
+// and the draws come from one cached generator re-seeded per decision
+// (rng.Reseeder). The seeds are bit-for-bit the values
+// rng.DeriveSeed(seed, "fault:<layer>:<taskID>:<attempt>") has always
+// produced, pinned by a golden test.
 type Injector struct {
 	seed  int64
 	cfg   Config
 	stats Stats
+
+	scratch     *rng.Reseeder
+	hostPrefix  rng.SeedHasher
+	dbPrefix    rng.SeedHasher
+	netPrefix   rng.SeedHasher
+	storPrefix  rng.SeedHasher
+	retryPrefix rng.SeedHasher
 }
 
 // New builds an injector rooted at seed. The config is validated; an
@@ -201,7 +217,17 @@ func New(seed int64, cfg Config) (*Injector, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Injector{seed: seed, cfg: cfg}, nil
+	base := rng.NewSeedHasher(seed)
+	return &Injector{
+		seed:        seed,
+		cfg:         cfg,
+		scratch:     rng.NewReseeder(),
+		hostPrefix:  base.String("fault:" + LayerHost + ":"),
+		dbPrefix:    base.String("fault:" + LayerDB + ":"),
+		netPrefix:   base.String("fault:" + LayerNet + ":"),
+		storPrefix:  base.String("fault:" + LayerStorage + ":"),
+		retryPrefix: base.String("retry:"),
+	}, nil
 }
 
 // Config returns the injector's configuration (zero value when nil).
@@ -220,18 +246,18 @@ func (in *Injector) Stats() Stats {
 	return in.stats
 }
 
-func (in *Injector) layerFor(name string) (Layer, *LayerStats) {
+func (in *Injector) layerFor(name string) (Layer, *LayerStats, rng.SeedHasher) {
 	switch name {
 	case LayerHost:
-		return in.cfg.Host, &in.stats.Host
+		return in.cfg.Host, &in.stats.Host, in.hostPrefix
 	case LayerDB:
-		return in.cfg.DB, &in.stats.DB
+		return in.cfg.DB, &in.stats.DB, in.dbPrefix
 	case LayerNet:
-		return in.cfg.Net, &in.stats.Net
+		return in.cfg.Net, &in.stats.Net, in.netPrefix
 	case LayerStorage:
-		return in.cfg.Storage, &in.stats.Storage
+		return in.cfg.Storage, &in.stats.Storage, in.storPrefix
 	}
-	return Layer{}, nil
+	return Layer{}, nil, rng.SeedHasher{}
 }
 
 // Decide returns the injection outcome for one interaction of task
@@ -245,7 +271,7 @@ func (in *Injector) Decide(layer, kind string, taskID int64, attempt int) Outcom
 	if in == nil {
 		return Outcome{}
 	}
-	lc, ls := in.layerFor(layer)
+	lc, ls, prefix := in.layerFor(layer)
 	if ls == nil {
 		return Outcome{}
 	}
@@ -253,7 +279,7 @@ func (in *Injector) Decide(layer, kind string, taskID int64, attempt int) Outcom
 	if failP <= 0 && lc.Stall.Prob <= 0 {
 		return Outcome{}
 	}
-	s := rng.Derive(in.seed, fmt.Sprintf("fault:%s:%d:%d", layer, taskID, attempt))
+	s := in.scratch.Reseed(prefix.Int(taskID).Byte(':').Int(int64(attempt)).Seed())
 	ls.Decisions++
 	var out Outcome
 	if failP > 0 && s.Bernoulli(failP) {
@@ -275,7 +301,7 @@ func (in *Injector) JitterU(taskID int64, attempt int) float64 {
 	if in == nil {
 		return 0
 	}
-	return rng.Derive(in.seed, fmt.Sprintf("retry:%d:%d", taskID, attempt)).Float64()
+	return in.scratch.Reseed(in.retryPrefix.Int(taskID).Byte(':').Int(int64(attempt)).Seed()).Float64()
 }
 
 // RegisterMetrics exposes the injector's per-layer counters as pull

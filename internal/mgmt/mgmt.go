@@ -619,12 +619,16 @@ func (m *Manager) runAttempt(p *sim.Proc, task *Task, spec ExecSpec, sample ops.
 
 	// 4. Host-agent execution.
 	if spec.HostID != inventory.None {
-		h := m.inv.Host(spec.HostID)
-		name := fmt.Sprintf("host:%d", spec.HostID)
-		if h != nil {
-			name = h.Name
+		// The registry interns agents by host ID; the name is only needed
+		// on first sight of a host, so the common path formats nothing.
+		agent := m.agents.Agent(spec.HostID)
+		if agent == nil {
+			name := fmt.Sprintf("host:%d", spec.HostID)
+			if h := m.inv.Host(spec.HostID); h != nil {
+				name = h.Name
+			}
+			agent = m.agents.Ensure(spec.HostID, name)
 		}
-		agent := m.agents.Ensure(spec.HostID, name)
 		hostOut := m.cfg.Faults.Decide(faults.LayerHost, kind, task.ID, attempt)
 		waited, served := agent.Exec(p, sample.Host+spec.ExtraHostS+hostOut.StallS)
 		task.Breakdown.Queue += waited

@@ -1,0 +1,95 @@
+package rng
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Golden values: DeriveSeed's historical outputs for fixed (seed, label)
+// pairs. These pin the FNV-1a derivation itself — SeedHasher and every
+// cached-prefix optimization must keep reproducing exactly these seeds,
+// or every artifact in the repo silently changes.
+var deriveGolden = []struct {
+	seed  int64
+	label string
+	want  int64
+}{
+	{42, "fault:host:1:1", 905418259443008068},
+	{42, "fault:db:17:3", 2502797662279492609},
+	{42, "fault:net:100:2", -1103909368913001484},
+	{42, "fault:storage:-5:1", 6855313081034852700},
+	{42, "retry:9:4", 8644708048418715761},
+	{-7, "fault:host:0:0", -8030223693146669278},
+	{1234567, "fault:db:987654321:12", -4699305703517829662},
+}
+
+func TestDeriveSeedGolden(t *testing.T) {
+	for _, g := range deriveGolden {
+		if got := DeriveSeed(g.seed, g.label); got != g.want {
+			t.Errorf("DeriveSeed(%d, %q) = %d, want %d", g.seed, g.label, got, g.want)
+		}
+	}
+}
+
+// SeedHasher must reproduce DeriveSeed bit for bit when the label is
+// assembled from pieces — including a prefix state cached once and
+// extended many times, which is how the fault injector uses it.
+func TestSeedHasherMatchesDeriveSeed(t *testing.T) {
+	for _, g := range deriveGolden {
+		if got := NewSeedHasher(g.seed).String(g.label).Seed(); got != g.want {
+			t.Errorf("SeedHasher whole-label for (%d, %q) = %d, want %d", g.seed, g.label, got, g.want)
+		}
+	}
+	// Piecewise assembly with a cached prefix, the hot-path shape.
+	for _, seed := range []int64{0, 42, -7, 1 << 40} {
+		prefix := NewSeedHasher(seed).String("fault:host:")
+		for _, taskID := range []int64{0, 1, 17, -5, 987654321} {
+			for _, attempt := range []int64{0, 1, 2, 12} {
+				want := DeriveSeed(seed, fmt.Sprintf("fault:host:%d:%d", taskID, attempt))
+				got := prefix.Int(taskID).Byte(':').Int(attempt).Seed()
+				if got != want {
+					t.Fatalf("cached prefix (seed=%d task=%d attempt=%d) = %d, want %d",
+						seed, taskID, attempt, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSeedHasherAllocFree(t *testing.T) {
+	prefix := NewSeedHasher(42).String("fault:host:")
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = prefix.Int(123456).Byte(':').Int(7).Seed()
+	})
+	if allocs != 0 {
+		t.Fatalf("SeedHasher derivation allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// Reseeder must yield exactly the draw sequence a fresh New(seed) stream
+// would, across reseeds and draw types.
+func TestReseederMatchesNew(t *testing.T) {
+	rs := NewReseeder()
+	for _, seed := range []int64{0, 42, -7, 905418259443008068} {
+		fresh := New(seed)
+		cached := rs.Reseed(seed)
+		for i := 0; i < 8; i++ {
+			if f, c := fresh.Float64(), cached.Float64(); f != c {
+				t.Fatalf("seed %d draw %d: Reseeder %v != New %v", seed, i, c, f)
+			}
+		}
+		if f, c := fresh.LogNormal(2, 1), cached.LogNormal(2, 1); f != c {
+			t.Fatalf("seed %d lognormal: Reseeder %v != New %v", seed, c, f)
+		}
+	}
+}
+
+func TestReseederAllocFree(t *testing.T) {
+	rs := NewReseeder()
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = rs.Reseed(42).Float64()
+	})
+	if allocs != 0 {
+		t.Fatalf("Reseed+draw allocates %.1f/op, want 0", allocs)
+	}
+}

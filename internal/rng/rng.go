@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 )
 
 // Stream is an independent deterministic random stream.
@@ -40,6 +41,87 @@ func DeriveSeed(seed int64, label string) int64 {
 // labels yield well-separated streams.
 func Derive(seed int64, label string) *Stream {
 	return New(DeriveSeed(seed, label))
+}
+
+// FNV-1a parameters, matching hash/fnv's 64-bit variant. SeedHasher
+// re-implements the hash byte by byte so derivation labels never have to
+// be materialized as strings on hot paths.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// SeedHasher incrementally computes the same sub-seed DeriveSeed would
+// return for a label built from pieces, without allocating. It is a small
+// value: a partially-applied hash state that can be cached — a component
+// that derives many seeds sharing a label prefix (e.g. the fault
+// injector's "fault:<layer>:" per-layer prefixes) hashes the prefix once
+// and extends the cached state per decision.
+//
+//	h := rng.NewSeedHasher(seed).String("fault:host:")   // cache this
+//	sub := h.Int(taskID).Byte(':').Int(attempt).Seed()
+//	// sub == rng.DeriveSeed(seed, fmt.Sprintf("fault:host:%d:%d", taskID, attempt))
+//
+// The equivalence with DeriveSeed is pinned by a golden test; it is what
+// lets hot paths switch to SeedHasher without perturbing a single draw.
+type SeedHasher struct{ h uint64 }
+
+// NewSeedHasher starts a derivation for the given master seed: the state
+// after hashing "<seed>/", which every DeriveSeed label is prefixed with.
+func NewSeedHasher(seed int64) SeedHasher {
+	return SeedHasher{h: fnvOffset64}.Int(seed).Byte('/')
+}
+
+// Byte extends the label with one byte.
+func (s SeedHasher) Byte(b byte) SeedHasher {
+	s.h = (s.h ^ uint64(b)) * fnvPrime64
+	return s
+}
+
+// String extends the label with a string.
+func (s SeedHasher) String(str string) SeedHasher {
+	for i := 0; i < len(str); i++ {
+		s.h = (s.h ^ uint64(str[i])) * fnvPrime64
+	}
+	return s
+}
+
+// Int extends the label with the decimal representation of n, exactly as
+// a %d format verb would render it.
+func (s SeedHasher) Int(n int64) SeedHasher {
+	var buf [20]byte
+	for _, b := range strconv.AppendInt(buf[:0], n, 10) {
+		s.h = (s.h ^ uint64(b)) * fnvPrime64
+	}
+	return s
+}
+
+// Seed returns the derived sub-seed for the label accumulated so far.
+func (s SeedHasher) Seed() int64 { return int64(s.h) }
+
+// Reseeder is a reusable stream for components that derive a fresh
+// sub-stream per decision (the fault injector draws per (layer, task,
+// attempt)). Constructing a Stream allocates a generator of several
+// kilobytes; Reseed re-seeds one cached generator instead, yielding
+// exactly the draw sequence New(seed) would while keeping the hot path
+// allocation-free. Each Reseed invalidates the previous stream, so the
+// returned stream must be drained before the next call; not safe for
+// concurrent use.
+type Reseeder struct {
+	stream Stream
+}
+
+// NewReseeder returns a Reseeder with an unseeded cached generator; call
+// Reseed before drawing.
+func NewReseeder() *Reseeder {
+	return &Reseeder{stream: Stream{r: rand.New(rand.NewSource(0))}}
+}
+
+// Reseed re-seeds the cached generator with seed and returns the shared
+// stream, positioned exactly as New(seed) would be.
+func (rs *Reseeder) Reseed(seed int64) *Stream {
+	rs.stream.r.Seed(seed)
+	return &rs.stream
 }
 
 // Float64 returns a uniform draw in [0,1).

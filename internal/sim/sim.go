@@ -11,6 +11,16 @@
 // the same results.
 //
 // Time is measured in seconds of virtual time as a float64 (type Time).
+//
+// # Performance
+//
+// The kernel is the hot path of every experiment, so its steady state is
+// allocation-free: fired events are recycled through a per-Env free list,
+// process wakeups are direct event fields rather than closures, and events
+// scheduled at the current instant bypass the heap through a FIFO
+// same-time queue (wakeups and zero-delay chains are the most common
+// events by far). None of this changes the execution order, which remains
+// exactly (time, sequence)-ordered; the determinism tests pin that down.
 package sim
 
 import (
@@ -23,8 +33,15 @@ import (
 )
 
 // debugEvents enables a low-overhead event-rate trace for diagnosing
-// runaway event cascades; set CLOUDMCP_DEBUG_EVENTS=1.
+// runaway event cascades; set CLOUDMCP_DEBUG_EVENTS=1. The trace goes to
+// stderr: stdout belongs to the artifacts the CLIs render, and a debug aid
+// must never corrupt a piped or diffed artifact.
 var debugEvents = os.Getenv("CLOUDMCP_DEBUG_EVENTS") != ""
+
+// debugEventEvery is the number of events between debug trace lines. A
+// variable (not a constant) so the regression test can tighten it enough
+// to observe output from a tiny simulation.
+var debugEventEvery int64 = 10_000_000
 
 // Time is virtual time in seconds since the start of the simulation.
 type Time = float64
@@ -33,12 +50,25 @@ type Time = float64
 // heap to drain completely.
 const Forever Time = math.MaxFloat64
 
-// event is a scheduled callback.
+// event index markers (event.idx values outside the heap).
+const (
+	idxPopped      = -1 // fired, cancelled from the heap, or free
+	idxNowQ        = -2 // waiting in the same-time FIFO queue
+	idxNowQStopped = -3 // cancelled while in the same-time queue
+)
+
+// event is a scheduled callback. Events are pooled: after firing (or being
+// cancelled) an event returns to the Env's free list and is reused by a
+// later Schedule, so the steady-state path does not allocate. gen
+// distinguishes incarnations so a stale Timer cannot cancel the recycled
+// event.
 type event struct {
 	at  Time
 	seq int64 // tie-break: FIFO among simultaneous events
 	fn  func()
-	idx int // heap index, -1 when popped/cancelled
+	p   *Proc  // when non-nil, the event resumes p instead of calling fn
+	idx int    // heap index, or one of the idx* markers
+	gen uint64 // incremented every time the event is recycled
 }
 
 type eventHeap []*event
@@ -65,7 +95,7 @@ func (h *eventHeap) Pop() any {
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
-	e.idx = -1
+	e.idx = idxPopped
 	*h = old[:n-1]
 	return e
 }
@@ -80,6 +110,17 @@ type Env struct {
 	seq     int64
 	running bool
 	stopped bool
+
+	// nowq is the same-time fast path: a FIFO of events scheduled at the
+	// current instant. Entries are appended with non-decreasing (at, seq),
+	// so the front is always the queue's minimum and merging with the heap
+	// is a single comparison instead of an O(log n) heap operation.
+	nowq     []*event
+	nowqHead int
+	nowqDead int // cancelled entries still occupying nowq slots
+
+	// free is the event free list; see the event type.
+	free []*event
 
 	// procDone is signaled by a process goroutine whenever it blocks or
 	// terminates, returning control to the kernel loop.
@@ -113,39 +154,146 @@ func (e *Env) SetMetrics(reg *metrics.Registry) { e.metrics = reg }
 // returns a no-op instrument.
 func (e *Env) Metrics() *metrics.Registry { return e.metrics }
 
+// newEvent takes an event from the free list (or allocates one), stamps
+// it, and enqueues it: on the same-time FIFO queue when it fires at the
+// current instant, otherwise on the heap.
+func (e *Env) newEvent(at Time, fn func(), p *Proc) *event {
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.fn, ev.p = at, e.seq, fn, p
+	e.seq++
+	// The fast path requires nowq to stay sorted by (at, seq); appends are
+	// in seq order, so only a clock that moved backwards (Run to an
+	// earlier horizon) could break the at order — guard against it.
+	if at == e.now && (e.nowqHead == len(e.nowq) || e.nowq[len(e.nowq)-1].at <= at) {
+		ev.idx = idxNowQ
+		e.nowq = append(e.nowq, ev)
+	} else {
+		heap.Push(&e.heap, ev)
+	}
+	return ev
+}
+
+// release returns a fired or cancelled event to the free list.
+func (e *Env) release(ev *event) {
+	ev.fn, ev.p = nil, nil
+	ev.idx = idxPopped
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
+// peek returns the next event to fire — the (time, sequence) minimum of
+// the heap and the same-time queue — without removing it. It compacts
+// cancelled same-time entries as it goes. Returns nil when nothing is
+// pending.
+func (e *Env) peek() *event {
+	for e.nowqHead < len(e.nowq) && e.nowq[e.nowqHead].idx == idxNowQStopped {
+		e.release(e.nowq[e.nowqHead])
+		e.nowq[e.nowqHead] = nil
+		e.nowqHead++
+		e.nowqDead--
+	}
+	var front *event
+	if e.nowqHead < len(e.nowq) {
+		front = e.nowq[e.nowqHead]
+	} else if e.nowqHead > 0 {
+		e.nowq = e.nowq[:0]
+		e.nowqHead = 0
+	}
+	if len(e.heap) == 0 {
+		return front
+	}
+	top := e.heap[0]
+	if front == nil || top.at < front.at || (top.at == front.at && top.seq < front.seq) {
+		return top
+	}
+	return front
+}
+
+// pop removes ev — which must be the event peek just returned — from its
+// queue.
+func (e *Env) pop(ev *event) {
+	if ev.idx == idxNowQ {
+		e.nowq[e.nowqHead] = nil
+		e.nowqHead++
+		ev.idx = idxPopped
+		return
+	}
+	heap.Pop(&e.heap)
+}
+
 // Schedule registers fn to run after delay seconds of virtual time.
 // A negative delay panics: events cannot be scheduled in the past.
 // The returned Timer may be used to cancel the event before it fires.
-func (e *Env) Schedule(delay Time, fn func()) *Timer {
+func (e *Env) Schedule(delay Time, fn func()) Timer {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
-	ev := &event{at: e.now + delay, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.heap, ev)
-	return &Timer{env: e, ev: ev}
+	ev := e.newEvent(e.now+delay, fn, nil)
+	return Timer{env: e, ev: ev, gen: ev.gen}
 }
 
-// Timer is a handle to a scheduled event.
+// scheduleWake registers an event that resumes p after delay seconds.
+// Equivalent to Schedule(delay, func() { e.wake(p) }) without the closure
+// allocation; this is the kernel's internal path for every blocking
+// primitive (Sleep, Resource, Queue, Signal).
+func (e *Env) scheduleWake(delay Time, p *Proc) {
+	e.newEvent(e.now+delay, nil, p)
+}
+
+// Timer is a handle to a scheduled event. The zero Timer is valid and
+// behaves like a timer whose event has already fired: Stop reports false
+// and When reports no pending event.
 type Timer struct {
 	env *Env
 	ev  *event
+	gen uint64
+}
+
+// pending reports whether the timer's event is still scheduled. Events
+// are pooled, so a fired event may have been recycled by a later
+// Schedule; the generation check makes sure this timer still refers to
+// its own incarnation.
+func (t Timer) pending() bool {
+	return t.ev != nil && t.ev.gen == t.gen && (t.ev.idx >= 0 || t.ev.idx == idxNowQ)
 }
 
 // Stop cancels the timer's event if it has not fired yet. It reports
 // whether the event was cancelled (false when it already fired or was
 // already stopped).
-func (t *Timer) Stop() bool {
-	if t.ev == nil || t.ev.idx < 0 {
+func (t Timer) Stop() bool {
+	if !t.pending() {
 		return false
 	}
-	heap.Remove(&t.env.heap, t.ev.idx)
-	t.ev.idx = -1
+	ev := t.ev
+	if ev.idx == idxNowQ {
+		// In the same-time queue: mark the slot dead; peek reclaims it.
+		ev.fn, ev.p = nil, nil
+		ev.idx = idxNowQStopped
+		t.env.nowqDead++
+		return true
+	}
+	heap.Remove(&t.env.heap, ev.idx)
+	t.env.release(ev)
 	return true
 }
 
-// When returns the virtual time the timer is scheduled to fire.
-func (t *Timer) When() Time { return t.ev.at }
+// When returns the virtual time the timer's event is scheduled to fire
+// and true, or (0, false) once the event has fired or been stopped (a
+// fired event's time is meaningless: the pooled event may already carry a
+// different schedule).
+func (t Timer) When() (Time, bool) {
+	if !t.pending() {
+		return 0, false
+	}
+	return t.ev.at, true
+}
 
 // Stop terminates the simulation: Run returns after the current event
 // completes and all later events are discarded.
@@ -162,21 +310,30 @@ func (e *Env) Run(until Time) Time {
 	e.stopped = false
 	defer func() { e.running = false }()
 	var nev int64
-	for len(e.heap) > 0 && !e.stopped {
-		ev := e.heap[0]
+	for !e.stopped {
+		ev := e.peek()
+		if ev == nil {
+			break
+		}
 		if ev.at > until {
 			e.now = until
 			return e.now
 		}
-		heap.Pop(&e.heap)
+		e.pop(ev)
 		e.now = ev.at
+		fn, p := ev.fn, ev.p
+		e.release(ev)
 		if debugEvents {
 			nev++
-			if nev%10_000_000 == 0 {
-				fmt.Printf("sim DEBUG: %dM events, now=%v heap=%d fn=%p\n", nev/1_000_000, e.now, len(e.heap), ev.fn)
+			if nev%debugEventEvery == 0 {
+				fmt.Fprintf(os.Stderr, "sim DEBUG: %d events, now=%v pending=%d fn=%p\n", nev, e.now, e.Pending(), fn)
 			}
 		}
-		ev.fn()
+		if p != nil {
+			e.wake(p)
+		} else {
+			fn()
+		}
 	}
 	if e.now < until && until != Forever {
 		e.now = until
@@ -185,7 +342,9 @@ func (e *Env) Run(until Time) Time {
 }
 
 // Pending returns the number of scheduled (uncancelled) events.
-func (e *Env) Pending() int { return len(e.heap) }
+func (e *Env) Pending() int {
+	return len(e.heap) + (len(e.nowq) - e.nowqHead - e.nowqDead)
+}
 
 // LiveProcs returns the number of processes that have started and not yet
 // returned. A drained simulation with blocked processes will report them
@@ -246,7 +405,7 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative sleep %v", d))
 	}
-	p.env.Schedule(d, func() { p.env.wake(p) })
+	p.env.scheduleWake(d, p)
 	p.yield()
 }
 
@@ -261,7 +420,14 @@ type Resource struct {
 	name     string
 	capacity int
 	inUse    int
-	waiters  []*resWaiter
+
+	// waiters[wHead:] is the FIFO admission queue. The head index (rather
+	// than re-slicing) lets the backing array be reused once the queue
+	// drains, and freeW recycles waiter records, keeping Acquire
+	// allocation-free at steady state.
+	waiters []*resWaiter
+	wHead   int
+	freeW   []*resWaiter
 
 	// accounting
 	lastT        Time
@@ -298,15 +464,29 @@ func (r *Resource) Capacity() int { return r.capacity }
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of processes waiting to acquire.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return len(r.waiters) - r.wHead }
 
 func (r *Resource) account() {
 	dt := r.env.now - r.lastT
 	if dt > 0 {
 		r.busyIntegral += dt * float64(r.inUse)
-		r.qIntegral += dt * float64(len(r.waiters))
+		r.qIntegral += dt * float64(r.QueueLen())
 	}
 	r.lastT = r.env.now
+}
+
+// newWaiter takes a waiter record from the free list or allocates one.
+func (r *Resource) newWaiter(p *Proc, n int) *resWaiter {
+	var w *resWaiter
+	if k := len(r.freeW); k > 0 {
+		w = r.freeW[k-1]
+		r.freeW[k-1] = nil
+		r.freeW = r.freeW[:k-1]
+	} else {
+		w = &resWaiter{}
+	}
+	*w = resWaiter{p: p, n: n, since: r.env.now}
+	return w
 }
 
 // Acquire blocks p until n units are available and this request is at the
@@ -316,10 +496,10 @@ func (r *Resource) Acquire(p *Proc, n int) {
 		panic(fmt.Sprintf("sim: acquire %d of %q (capacity %d)", n, r.name, r.capacity))
 	}
 	r.account()
-	w := &resWaiter{p: p, n: n, since: r.env.now}
+	w := r.newWaiter(p, n)
 	r.waiters = append(r.waiters, w)
-	if len(r.waiters) > r.maxQueue {
-		r.maxQueue = len(r.waiters)
+	if q := r.QueueLen(); q > r.maxQueue {
+		r.maxQueue = q
 	}
 	r.dispatch()
 	if !w.granted {
@@ -329,6 +509,9 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	if !w.granted {
 		panic("sim: resumed without grant") // kernel invariant
 	}
+	// The grant removed w from the queue; no one else references it.
+	w.p = nil
+	r.freeW = append(r.freeW, w)
 }
 
 // Release returns n units to the resource and wakes eligible waiters.
@@ -346,21 +529,25 @@ func (r *Resource) Release(n int) {
 // later (smaller) requests even if those could be satisfied, preventing
 // starvation of large requests.
 func (r *Resource) dispatch() {
-	for len(r.waiters) > 0 {
-		w := r.waiters[0]
+	for r.wHead < len(r.waiters) {
+		w := r.waiters[r.wHead]
 		if r.inUse+w.n > r.capacity {
 			return
 		}
-		r.waiters = r.waiters[1:]
+		r.waiters[r.wHead] = nil
+		r.wHead++
+		if r.wHead == len(r.waiters) {
+			r.waiters = r.waiters[:0]
+			r.wHead = 0
+		}
 		r.inUse += w.n
 		w.granted = true
 		r.grants++
 		r.waitTotal += r.env.now - w.since
 		if w.blocked {
 			// The process has yielded: resume it via a fresh event so
-			// wakeups stay in deterministic heap order.
-			p := w.p
-			r.env.Schedule(0, func() { r.env.wake(p) })
+			// wakeups stay in deterministic FIFO order.
+			r.env.scheduleWake(0, w.p)
 		}
 		// Otherwise the acquiring process is still running inside
 		// Acquire; it sees granted==true and continues inline.
@@ -447,8 +634,7 @@ func (q *Queue) Put(v any) {
 		q.getters = q.getters[1:]
 		g.item = v
 		g.ready = true
-		p := g.p
-		q.env.Schedule(0, func() { q.env.wake(p) })
+		q.env.scheduleWake(0, g.p)
 		return
 	}
 	q.items = append(q.items, v)
@@ -490,13 +676,15 @@ func (s *Signal) Wait(p *Proc) {
 
 // Fire releases all current waiters in wait order.
 func (s *Signal) Fire() {
-	ws := s.waiters
-	s.waiters = nil
 	s.fires++
-	for _, p := range ws {
-		p := p
-		s.env.Schedule(0, func() { s.env.wake(p) })
+	// Fire runs atomically under the kernel (no process can Wait while it
+	// executes), so truncating in place is safe and keeps the backing
+	// array for the next round of waiters.
+	for i, p := range s.waiters {
+		s.env.scheduleWake(0, p)
+		s.waiters[i] = nil
 	}
+	s.waiters = s.waiters[:0]
 }
 
 // Fires returns the number of times Fire has been called.

@@ -523,8 +523,49 @@ func TestPropertyResourceMakespan(t *testing.T) {
 func TestTimerWhen(t *testing.T) {
 	env := NewEnv()
 	tm := env.Schedule(12.5, func() {})
-	if tm.When() != 12.5 {
-		t.Fatalf("When = %v", tm.When())
+	if at, ok := tm.When(); !ok || at != 12.5 {
+		t.Fatalf("When = %v, %v; want 12.5, true", at, ok)
+	}
+	env.Run(Forever)
+	if at, ok := tm.When(); ok {
+		t.Fatalf("When after firing = %v, %v; want ok=false", at, ok)
+	}
+}
+
+func TestTimerWhenAfterStop(t *testing.T) {
+	env := NewEnv()
+	tm := env.Schedule(5, func() {})
+	if !tm.Stop() {
+		t.Fatal("Stop = false on a pending timer")
+	}
+	if at, ok := tm.When(); ok {
+		t.Fatalf("When after Stop = %v, %v; want ok=false", at, ok)
+	}
+	var zero Timer
+	if _, ok := zero.When(); ok {
+		t.Fatal("zero Timer reports a pending event")
+	}
+	if zero.Stop() {
+		t.Fatal("zero Timer Stop = true")
+	}
+}
+
+// A Timer must not cancel the recycled incarnation of its fired event:
+// after the event fires and the pooled record is reused by a later
+// Schedule, Stop on the stale handle has to report false and leave the
+// new event in place.
+func TestTimerStaleAfterRecycle(t *testing.T) {
+	env := NewEnv()
+	first := env.Schedule(1, func() {})
+	env.Run(2)
+	fired := false
+	env.Schedule(1, func() { fired = true }) // reuses the pooled event
+	if first.Stop() {
+		t.Fatal("stale Stop cancelled a recycled event")
+	}
+	env.Run(Forever)
+	if !fired {
+		t.Fatal("recycled event did not fire")
 	}
 }
 

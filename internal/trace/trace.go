@@ -157,6 +157,106 @@ func WriteCSV(w io.Writer, records []Record) error {
 	return cw.Error()
 }
 
+// Writer streams records one at a time to an underlying writer, buffered,
+// in JSONL or CSV form. Its output is byte-identical to WriteJSONL /
+// WriteCSV over the same records — pinned by a test — so a CLI can switch
+// from accumulate-then-dump to streaming without changing its artifact.
+// Errors are sticky: after the first failure every Write is a no-op and
+// Flush reports it, so a caller checking only the final Flush still
+// observes a mid-stream disk failure.
+type Writer struct {
+	enc *json.Encoder // JSONL mode
+	bw  *bufio.Writer // JSONL mode (enc's buffer)
+	cw  *csv.Writer   // CSV mode
+	hdr bool          // CSV header written
+	row [16]string    // CSV scratch, reused per record
+	n   int
+	err error
+}
+
+func (sw *Writer) csvHeaderOnce() error {
+	if sw.hdr {
+		return nil
+	}
+	if err := sw.cw.Write(csvHeader); err != nil {
+		sw.err = err
+		return err
+	}
+	sw.hdr = true
+	return nil
+}
+
+// NewJSONLWriter returns a streaming writer producing WriteJSONL output.
+func NewJSONLWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{enc: json.NewEncoder(bw), bw: bw}
+}
+
+// NewCSVWriter returns a streaming writer producing WriteCSV output,
+// including the header row (written lazily, at the first record or at
+// Flush, so a zero-record stream still matches WriteCSV(w, nil)).
+func NewCSVWriter(w io.Writer) *Writer {
+	return &Writer{cw: csv.NewWriter(w)}
+}
+
+// Write appends one record. It returns the writer's sticky error.
+func (sw *Writer) Write(r *Record) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.enc != nil {
+		if err := sw.enc.Encode(r); err != nil {
+			sw.err = fmt.Errorf("trace: encode record %d: %w", sw.n, err)
+			return sw.err
+		}
+	} else {
+		if err := sw.csvHeaderOnce(); err != nil {
+			return err
+		}
+		f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+		row := sw.row[:0]
+		row = append(row,
+			strconv.FormatInt(r.TaskID, 10), r.Kind, r.Mode, r.Org,
+			strconv.FormatInt(r.VM, 10), strconv.FormatInt(r.Template, 10),
+			f(r.Submit), f(r.End), f(r.Latency), f(r.Queue), f(r.Cell),
+			f(r.Mgmt), f(r.DB), f(r.Host), f(r.Data), r.Err)
+		if err := sw.cw.Write(row); err != nil {
+			sw.err = fmt.Errorf("trace: write record %d: %w", sw.n, err)
+			return sw.err
+		}
+	}
+	sw.n++
+	return nil
+}
+
+// Sink adapts Write to the mgmt task-sink signature, for streaming a
+// simulation's completed tasks straight to disk. Write errors are sticky
+// and surface at Flush.
+func (sw *Writer) Sink(t *mgmt.Task) {
+	rec := FromTask(t)
+	sw.Write(&rec)
+}
+
+// N returns the number of records written so far.
+func (sw *Writer) N() int { return sw.n }
+
+// Flush drains buffered output and returns the first error seen, if any.
+func (sw *Writer) Flush() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.enc != nil {
+		sw.err = sw.bw.Flush()
+	} else {
+		if err := sw.csvHeaderOnce(); err != nil {
+			return err
+		}
+		sw.cw.Flush()
+		sw.err = sw.cw.Error()
+	}
+	return sw.err
+}
+
 // ReadCSV reads records written by WriteCSV.
 func ReadCSV(r io.Reader) ([]Record, error) {
 	cr := csv.NewReader(r)
