@@ -2,20 +2,23 @@
 // reconstructed paper tables/figures plus the extensions) and prints
 // every artifact. Experiments and their internal parameter sweeps run in
 // parallel across -workers cores; output is byte-identical for any
-// worker count at a fixed seed. E17 (fault injection) and E18
-// (management-plane scale-out) are opt-in via -only, -faults, or
-// -shards and never change the default artifact.
+// worker count at a fixed seed. E17 (fault injection), E18
+// (management-plane scale-out), and E20 (reconciliation interference)
+// are opt-in via -only, -faults, -shards, or -reconcile and never
+// change the default artifact.
 //
 //	mcpbench                 # full-scale horizons (minutes of wall time)
 //	mcpbench -quick          # CI-scale horizons (seconds)
 //	mcpbench -seed 7         # different random universe
-//	mcpbench -only E6        # one experiment (E1..E18)
+//	mcpbench -only E6        # one experiment (E1..E20)
 //	mcpbench -workers 1      # serial execution (same output, more wall time)
 //	mcpbench -progress       # completion ticks on stderr
 //	mcpbench -metrics        # instrumented probe at the E6 crossover point
 //	mcpbench -faults         # E17 goodput-under-faults, default rate grid
 //	mcpbench -fault-rate 0.3 # E17 sweeping rates {0, 0.075, 0.15, 0.3}
 //	mcpbench -shards 8       # E18 scale-out, sweeping shards {1, 2, 4, 8}
+//	mcpbench -reconcile      # E20 reconciliation interference grid
+//	mcpbench -reconcile-interval 60 -reconcile-depth 4   # E20, custom grid
 //
 // Performance instrumentation (reproducible-profiling hooks):
 //
@@ -45,7 +48,7 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "master random seed")
 	quick := flag.Bool("quick", false, "run shortened horizons")
-	only := flag.String("only", "", "run a single experiment (E1..E18)")
+	only := flag.String("only", "", "run a single experiment (E1..E20)")
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "print per-experiment completion to stderr")
 	showMetrics := flag.Bool("metrics", false, "run an instrumented closed-loop probe at the E6 crossover and print per-layer metrics")
@@ -53,10 +56,14 @@ func main() {
 	withFaults := flag.Bool("faults", false, "run E17: goodput and latency under injected control-plane faults")
 	faultRate := flag.Float64("fault-rate", 0, "highest injected fault rate for E17's sweep grid (0 = default grid; implies -faults)")
 	shards := flag.Int("shards", 0, "run E18: management-plane scale-out, sweeping shard counts up to this power of two (0 = off)")
+	withReconcile := flag.Bool("reconcile", false, "run E20: foreground goodput under the always-on reconciliation plane")
+	recInterval := flag.Float64("reconcile-interval", 0, "finest resync interval for E20's sweep grid in seconds (0 = default grid; implies -reconcile)")
+	recDepth := flag.Int("reconcile-depth", 0, "reconciliation worker depth for E20 (0 = default grid; implies -reconcile)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	benchOut := flag.String("bench-kernel", "", "run the kernel micro-benchmark suite and write BENCH_kernel-style JSON to this file instead of the experiment suite")
 	flag.Parse()
+	reconcileOn := *withReconcile || *recInterval > 0 || *recDepth > 0
 
 	// Reject inconsistent flag values up front with a clear message and
 	// a non-zero exit instead of clamping or panicking mid-suite.
@@ -69,8 +76,14 @@ func main() {
 	if *workers < 0 {
 		fatal(fmt.Errorf("-workers must be >= 0, got %d", *workers))
 	}
+	if err := validateReconcileFlags(*recInterval, *recDepth); err != nil {
+		fatal(err)
+	}
 	if *shards > 0 && (*withFaults || *faultRate > 0) {
 		fatal(fmt.Errorf("-shards (E18) and -faults (E17) are separate benches; pick one, or use -only"))
+	}
+	if reconcileOn && (*shards > 0 || *withFaults || *faultRate > 0) {
+		fatal(fmt.Errorf("-reconcile (E20) is a separate bench from -shards (E18) and -faults (E17); pick one, or use -only"))
 	}
 
 	if *cpuProfile != "" {
@@ -97,6 +110,7 @@ func main() {
 		seed: *seed, quick: *quick, only: *only, workers: *workers,
 		progress: *progress, showMetrics: *showMetrics, metricsOut: *metricsOut,
 		withFaults: *withFaults, faultRate: *faultRate, shards: *shards,
+		reconcile: reconcileOn, recIntervalS: *recInterval, recDepth: *recDepth,
 		benchOut: *benchOut,
 	})
 	if ferr := out.Flush(); err == nil && ferr != nil {
@@ -121,7 +135,12 @@ type options struct {
 	withFaults  bool
 	faultRate   float64
 	shards      int
-	benchOut    string
+
+	reconcile    bool
+	recIntervalS float64
+	recDepth     int
+
+	benchOut string
 }
 
 // run dispatches to the selected bench, writing every artifact to w.
@@ -131,6 +150,8 @@ func run(w io.Writer, o options) error {
 		return benchKernel(w, o.benchOut, o.seed)
 	case o.shards > 0:
 		return shardsBench(w, o.seed, o.quick, o.workers, o.shards)
+	case o.reconcile:
+		return reconcileBench(w, o.seed, o.quick, o.workers, o.recIntervalS, o.recDepth)
 	case o.withFaults || o.faultRate > 0:
 		return faultsBench(w, o.seed, o.quick, o.workers, o.faultRate)
 	case o.showMetrics || o.metricsOut != "":
@@ -188,6 +209,44 @@ func shardsBench(w io.Writer, seed int64, quick bool, workers, max int) error {
 		return err
 	}
 	return res.Render(w)
+}
+
+// reconcileBench runs E20 — foreground goodput, tail latency, and DB
+// utilization while the reconciliation plane's controllers compete for
+// the same management servers, plus the drift-storm and
+// thundering-rebalance scenario legs. intervalS > 0 replaces the default
+// resync-interval grid with {4i, 2i, i}; depth > 0 pins the worker-depth
+// grid to that single value.
+func reconcileBench(w io.Writer, seed int64, quick bool, workers int, intervalS float64, depth int) error {
+	scale := 1.0
+	if quick {
+		scale = 0.1
+	}
+	p := core.E20Params{Seed: seed, HorizonS: 1800 * scale, Workers: workers}
+	if intervalS > 0 {
+		p.IntervalsS = []float64{4 * intervalS, 2 * intervalS, intervalS}
+	}
+	if depth > 0 {
+		p.Depths = []int{depth}
+	}
+	res, err := core.RunE20(p)
+	if err != nil {
+		return err
+	}
+	return res.Render(w)
+}
+
+// validateReconcileFlags mirrors the -shards convention: out-of-range
+// values exit non-zero with a clear message. Zero means "use the default
+// grid", so only negatives are invalid here.
+func validateReconcileFlags(intervalS float64, depth int) error {
+	if intervalS < 0 {
+		return fmt.Errorf("-reconcile-interval must be >= 0, got %g", intervalS)
+	}
+	if depth < 0 {
+		return fmt.Errorf("-reconcile-depth must be >= 0, got %d", depth)
+	}
+	return nil
 }
 
 // faultsBench runs E17 — closed-loop deploy goodput, tail latency, and

@@ -67,3 +67,24 @@ func TestRunBenchMeasures(t *testing.T) {
 		t.Fatalf("runBench entry %+v", e)
 	}
 }
+
+func TestValidateReconcileFlags(t *testing.T) {
+	cases := []struct {
+		intervalS float64
+		depth     int
+		ok        bool
+	}{
+		{0, 0, true},   // zero = default grid
+		{60, 0, true},  // custom interval, default depth
+		{0, 4, true},   // default grid, pinned depth
+		{60, 4, true},  // both pinned
+		{-1, 0, false}, // negative interval
+		{0, -2, false}, // negative depth
+	}
+	for _, c := range cases {
+		err := validateReconcileFlags(c.intervalS, c.depth)
+		if (err == nil) != c.ok {
+			t.Errorf("validateReconcileFlags(%g, %d) = %v, want ok=%v", c.intervalS, c.depth, err, c.ok)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 //	mcpsim -profile cloud-b -hours 8 -fast=false   # full-clone baseline
 //	mcpsim -hosts 64 -datastores 16 -cells 4
 //	mcpsim -shards 4 -plane-db per-shard           # sharded management plane
+//	mcpsim -reconcile -reconcile-interval 120      # always-on reconciliation
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"cloudmcp/internal/core"
 	"cloudmcp/internal/faults"
 	"cloudmcp/internal/plane"
+	"cloudmcp/internal/reconcile"
 	"cloudmcp/internal/report"
 	"cloudmcp/internal/workload"
 )
@@ -38,12 +40,19 @@ func main() {
 		faultRate   = flag.Float64("fault-rate", 0.1, "base transient-failure probability for the fault preset (implies -faults)")
 		shards      = flag.Int("shards", 1, "management-server shards behind the director")
 		planeDB     = flag.String("plane-db", "shared", "management DB mode across shards: shared or per-shard")
+		reconcileOn = flag.Bool("reconcile", false, "run the always-on reconciliation plane (drift, catalog, rebalance controllers)")
+		recInterval = flag.Float64("reconcile-interval", 300, "reconciliation resync interval in seconds (implies -reconcile)")
+		recDepth    = flag.Int("reconcile-depth", 2, "reconciliation worker depth per controller (implies -reconcile)")
 	)
 	flag.Parse()
 	faultsOn := *withFaults
+	recOn := *reconcileOn
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "fault-rate" {
+		switch f.Name {
+		case "fault-rate":
 			faultsOn = true
+		case "reconcile-interval", "reconcile-depth":
+			recOn = true
 		}
 	})
 
@@ -57,6 +66,9 @@ func main() {
 	}
 	if faultsOn && (*faultRate < 0 || *faultRate > 1) {
 		fatal(fmt.Errorf("-fault-rate must be in [0,1], got %g", *faultRate))
+	}
+	if err := validateReconcileFlags(recOn, *recInterval, *recDepth); err != nil {
+		fatal(err)
 	}
 	if *hours <= 0 {
 		fatal(fmt.Errorf("-hours must be > 0, got %g", *hours))
@@ -101,6 +113,13 @@ func main() {
 	if faultsOn {
 		fc := faults.Preset(*faultRate)
 		cfg.Faults = &fc
+	}
+	if recOn {
+		rc := reconcile.DefaultConfig()
+		rc.Controllers = reconcile.ControllerNames()
+		rc.IntervalS = *recInterval
+		rc.Depth = *recDepth
+		cfg.Reconcile = &rc
 	}
 	if *showMetrics || *metricsOut != "" {
 		cfg.Metrics = true
@@ -186,6 +205,13 @@ func main() {
 		}
 	}
 
+	if recOn {
+		if rt := report.ReconcileTable(cloud.ReconcileReport()); rt != nil {
+			fmt.Println()
+			render(rt)
+		}
+	}
+
 	if snap := cloud.MetricsSnapshot(); snap != nil {
 		if *showMetrics {
 			fmt.Println()
@@ -205,6 +231,23 @@ func main() {
 	if err := cloud.Inventory().CheckInvariants(); err != nil {
 		fatal(fmt.Errorf("post-run invariant check failed: %w", err))
 	}
+}
+
+// validateReconcileFlags mirrors the -shards convention: bad values are
+// rejected up front with a clear message and a non-zero exit rather than
+// clamped or passed through to panic deep inside core. The checks apply
+// whenever the reconciliation plane would be enabled.
+func validateReconcileFlags(on bool, intervalS float64, depth int) error {
+	if !on {
+		return nil
+	}
+	if intervalS <= 0 {
+		return fmt.Errorf("-reconcile-interval must be > 0, got %g", intervalS)
+	}
+	if depth < 1 {
+		return fmt.Errorf("-reconcile-depth must be >= 1, got %d", depth)
+	}
+	return nil
 }
 
 // render writes a table to stdout, failing loudly instead of letting a

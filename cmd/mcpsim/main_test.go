@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateReconcileFlags(t *testing.T) {
+	cases := []struct {
+		on        bool
+		intervalS float64
+		depth     int
+		ok        bool
+	}{
+		{false, 0, 0, true},   // off: values irrelevant
+		{false, -5, -1, true}, // off: even bad values pass (never used)
+		{true, 300, 2, true},  // defaults
+		{true, 1, 1, true},    // minimal legal values
+		{true, 0, 2, false},   // interval must be positive
+		{true, -60, 2, false},
+		{true, 300, 0, false}, // depth must be at least one worker
+		{true, 300, -3, false},
+	}
+	for _, c := range cases {
+		err := validateReconcileFlags(c.on, c.intervalS, c.depth)
+		if (err == nil) != c.ok {
+			t.Errorf("validateReconcileFlags(%v, %g, %d) = %v, want ok=%v", c.on, c.intervalS, c.depth, err, c.ok)
+		}
+	}
+}
+
+func TestValidateReconcileFlagsMessagesNameTheFlag(t *testing.T) {
+	if err := validateReconcileFlags(true, 0, 2); err == nil || !strings.Contains(err.Error(), "-reconcile-interval") {
+		t.Fatalf("interval error = %v, want it to name -reconcile-interval", err)
+	}
+	if err := validateReconcileFlags(true, 300, 0); err == nil || !strings.Contains(err.Error(), "-reconcile-depth") {
+		t.Fatalf("depth error = %v, want it to name -reconcile-depth", err)
+	}
+}

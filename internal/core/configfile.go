@@ -19,6 +19,7 @@ import (
 	"cloudmcp/internal/netsim"
 	"cloudmcp/internal/ops"
 	"cloudmcp/internal/plane"
+	"cloudmcp/internal/reconcile"
 )
 
 // ConfigFile is the JSON wire form of a Config. Zero-valued fields keep
@@ -44,6 +45,22 @@ type ConfigFile struct {
 	Metrics *bool `json:"metrics,omitempty"`
 
 	Faults *FaultsFile `json:"faults,omitempty"`
+
+	Reconcile *ReconcileFile `json:"reconcile,omitempty"`
+}
+
+// ReconcileFile configures the reconciliation plane (internal/reconcile);
+// presence enables it. Zero fields keep reconcile.DefaultConfig().
+type ReconcileFile struct {
+	Controllers  []string                 `json:"controllers,omitempty"`
+	IntervalS    float64                  `json:"intervalS,omitempty"`
+	Depth        int                      `json:"depth,omitempty"`
+	RatePerS     float64                  `json:"ratePerS,omitempty"`
+	Burst        float64                  `json:"burst,omitempty"`
+	MaxRetries   int                      `json:"maxRetries,omitempty"`
+	Backoff      *reconcile.BackoffPolicy `json:"backoff,omitempty"`
+	DriftRate    float64                  `json:"driftRate,omitempty"`
+	FillFraction float64                  `json:"fillFraction,omitempty"`
 }
 
 // FaultsFile configures fault injection (internal/faults) and the
@@ -393,6 +410,42 @@ func (f *ConfigFile) Apply() (Config, error) {
 			}
 			cfg.Mgmt.Retry = pol
 		}
+	}
+	if rf := f.Reconcile; rf != nil {
+		rc := reconcile.DefaultConfig()
+		rc.Controllers = rf.Controllers
+		if len(rc.Controllers) == 0 {
+			// Presence of the block without a controller list means "all".
+			rc.Controllers = reconcile.ControllerNames()
+		}
+		if rf.IntervalS != 0 {
+			rc.IntervalS = rf.IntervalS
+		}
+		if rf.Depth != 0 {
+			rc.Depth = rf.Depth
+		}
+		if rf.RatePerS != 0 {
+			rc.RatePerS = rf.RatePerS
+		}
+		if rf.Burst != 0 {
+			rc.Burst = rf.Burst
+		}
+		if rf.MaxRetries != 0 {
+			rc.MaxRetries = rf.MaxRetries
+		}
+		if rf.Backoff != nil {
+			rc.Backoff = *rf.Backoff
+		}
+		if rf.DriftRate != 0 {
+			rc.DriftRate = rf.DriftRate
+		}
+		if rf.FillFraction != 0 {
+			rc.FillFraction = rf.FillFraction
+		}
+		if err := rc.Validate(); err != nil {
+			return Config{}, err
+		}
+		cfg.Reconcile = &rc
 	}
 	return cfg, nil
 }

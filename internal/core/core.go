@@ -27,6 +27,7 @@ import (
 	"cloudmcp/internal/mgmt"
 	"cloudmcp/internal/ops"
 	"cloudmcp/internal/plane"
+	"cloudmcp/internal/reconcile"
 	"cloudmcp/internal/report"
 	"cloudmcp/internal/rng"
 	"cloudmcp/internal/sim"
@@ -116,6 +117,13 @@ type Config struct {
 	// applies mgmt.DefaultRetryPolicy(). Nil — or a config whose rates
 	// are all zero — reproduces pre-faults behaviour bit-for-bit.
 	Faults *faults.Config
+
+	// Reconcile, when non-nil, runs the always-on reconciliation plane
+	// (see internal/reconcile): background controllers that detect and
+	// correct drift through the same management plane foreground work
+	// uses. Nil — or a config naming no controllers — reproduces
+	// pre-reconcile behaviour bit-for-bit.
+	Reconcile *reconcile.Config
 }
 
 // DefaultConfig returns a fully-populated configuration for the given
@@ -143,6 +151,7 @@ type Cloud struct {
 	plane    *plane.Plane
 	dir      *clouddir.Director
 	balancer *drs.Balancer
+	rec      *reconcile.Plane
 	recorder *trace.Recorder
 }
 
@@ -211,13 +220,56 @@ func New(cfg Config) (*Cloud, error) {
 		c.recorder = trace.NewRecorder()
 		pl.AddTaskSink(c.recorder.Sink)
 	}
+	if cfg.Reconcile != nil {
+		rec, err := reconcile.New(env, pl, cfg.Seed, *cfg.Reconcile)
+		if err != nil {
+			return nil, err
+		}
+		c.rec = rec
+	}
 	dir.StartRebalancer()
 	balancer.Start()
+	if c.rec != nil {
+		c.rec.Start()
+	}
 	return c, nil
 }
 
 // DRS returns the compute load balancer (idle unless configured).
 func (c *Cloud) DRS() *drs.Balancer { return c.balancer }
+
+// Reconcile returns the reconciliation plane, nil when Config.Reconcile
+// is unset.
+func (c *Cloud) Reconcile() *reconcile.Plane { return c.rec }
+
+// ReconcileStats returns per-controller reconciliation activity, nil
+// when the reconciliation plane is off. Call after Run.
+func (c *Cloud) ReconcileStats() []reconcile.Stats {
+	if c.rec == nil {
+		return nil
+	}
+	return c.rec.Stats()
+}
+
+// ReconcileReport adapts the reconciliation plane's per-controller
+// stats to the report renderer's rows (nil when the plane is off).
+func (c *Cloud) ReconcileReport() []report.ReconcileRow {
+	var rows []report.ReconcileRow
+	for _, s := range c.ReconcileStats() {
+		rows = append(rows, report.ReconcileRow{
+			Controller: s.Controller,
+			Runs:       s.Runs,
+			Errors:     s.Errors,
+			Retries:    s.Retries,
+			Drops:      s.Drops,
+			Dedups:     s.Queue.Dedups,
+			Requeues:   s.Queue.Requeues,
+			ThrottleS:  s.ThrottleS,
+			BusyS:      s.BusyS,
+		})
+	}
+	return rows
+}
 
 // Env returns the simulation environment.
 func (c *Cloud) Env() *sim.Env { return c.env }

@@ -16,6 +16,7 @@ import (
 	"cloudmcp/internal/mgmt"
 	"cloudmcp/internal/ops"
 	"cloudmcp/internal/plane"
+	"cloudmcp/internal/reconcile"
 	"cloudmcp/internal/report"
 	"cloudmcp/internal/rng"
 	"cloudmcp/internal/sim"
@@ -454,6 +455,9 @@ type ClosedLoopResult struct {
 	// without cfg.Faults.
 	Retry   mgmt.RetryStats
 	Goodput []mgmt.GoodputRow
+	// Reconcile carries per-controller reconciliation activity over the
+	// whole run; nil without cfg.Reconcile.
+	Reconcile []reconcile.Stats
 	// Metrics is the end-of-run per-layer snapshot, nil unless
 	// cfg.Metrics was set. It never affects the numbers above.
 	Metrics *metrics.Snapshot
@@ -517,6 +521,9 @@ func RunClosedLoop(cfg Config, clients int, horizonS, warmupS float64) (ClosedLo
 	if cfg.Faults != nil {
 		res.Retry = c.Plane().RetryStats()
 		res.Goodput = c.Plane().Goodput()
+	}
+	if cfg.Reconcile != nil {
+		res.Reconcile = c.ReconcileStats()
 	}
 	return res, nil
 }

@@ -109,9 +109,9 @@ func TestFaultsEnabledRunsAreDeterministic(t *testing.T) {
 	}
 }
 
-func TestExtensionRegistryCoversE17AndE18(t *testing.T) {
+func TestExtensionRegistryCoversOptIns(t *testing.T) {
 	exts := Extensions()
-	want := []string{"E17", "E18"}
+	want := []string{"E17", "E18", "E20"}
 	if len(exts) != len(want) {
 		t.Fatalf("extensions = %+v, want %v", exts, want)
 	}

@@ -81,10 +81,11 @@ func Experiments() []Experiment {
 }
 
 // Extensions returns opt-in experiments that are not part of the
-// default suite. E17 enables fault injection and E18 reshapes the
-// management-plane topology, so folding either into RunAll would grow
-// the default artifact; they run via RunExperiment (mcpbench -only
-// E17/E18), mcpbench -faults, or mcpbench -shards instead.
+// default suite. E17 enables fault injection, E18 reshapes the
+// management-plane topology, and E20 turns on the reconciliation
+// plane, so folding any of them into RunAll would grow the default
+// artifact; they run via RunExperiment (mcpbench -only E17/E18/E20),
+// mcpbench -faults, mcpbench -shards, or mcpbench -reconcile instead.
 func Extensions() []Experiment {
 	return []Experiment{
 		{"E17", func(seed int64, scale float64, workers int) (Renderable, error) {
@@ -92,6 +93,9 @@ func Extensions() []Experiment {
 		}},
 		{"E18", func(seed int64, scale float64, workers int) (Renderable, error) {
 			return RunE18(E18Params{Seed: seed, HorizonS: 1800 * scale, Workers: workers})
+		}},
+		{"E20", func(seed int64, scale float64, workers int) (Renderable, error) {
+			return RunE20(E20Params{Seed: seed, HorizonS: 1800 * scale, Workers: workers})
 		}},
 	}
 }
@@ -112,7 +116,7 @@ func RunExperiment(name string, seed int64, quick bool, workers int) (Renderable
 			return r, nil
 		}
 	}
-	return nil, fmt.Errorf("unknown experiment %q (want E1..E18)", name)
+	return nil, fmt.Errorf("unknown experiment %q (want E1..E20)", name)
 }
 
 // RunAllOptions tunes the parallel suite run.

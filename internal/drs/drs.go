@@ -12,6 +12,7 @@ import (
 
 	"cloudmcp/internal/inventory"
 	"cloudmcp/internal/mgmt"
+	"cloudmcp/internal/reconcile"
 	"cloudmcp/internal/sim"
 )
 
@@ -77,16 +78,13 @@ func New(env *sim.Env, mgr API, cfg Config) (*Balancer, error) {
 }
 
 // Start launches the periodic evaluation process (no-op when disabled).
+// The loop runs on the shared reconciliation primitive, whose shape is
+// pinned to the hand-rolled loop this used (TestStartMatchesHandRolledLoop).
 func (b *Balancer) Start() {
 	if b.cfg.Threshold <= 0 {
 		return
 	}
-	b.env.Go("drs", func(p *sim.Proc) {
-		for {
-			p.Sleep(b.cfg.CheckS)
-			b.BalanceOnce(p)
-		}
-	})
+	reconcile.StartLoop(b.env, "drs", b.cfg.CheckS, b.BalanceOnce)
 }
 
 // Stats summarizes balancer activity.

@@ -1,6 +1,7 @@
 package drs
 
 import (
+	"reflect"
 	"testing"
 
 	"cloudmcp/internal/inventory"
@@ -128,5 +129,34 @@ func TestBadConfigRejected(t *testing.T) {
 	f := newFixture(t, DefaultConfig())
 	if _, err := New(f.env, f.mgr, Config{Threshold: 0.2}); err == nil {
 		t.Fatal("expected error")
+	}
+}
+
+// Start now runs on reconcile.StartLoop; pin it against the hand-rolled
+// sleep-then-balance loop it replaced — identical pass records, moves,
+// and timings.
+func TestStartMatchesHandRolledLoop(t *testing.T) {
+	run := func(hand bool) Stats {
+		f := newFixture(t, Config{Threshold: 0.2, CheckS: 120, Batch: 4})
+		f.loadHost(t, f.hosts[0], 10)
+		if hand {
+			f.env.Go("drs", func(p *sim.Proc) {
+				for {
+					p.Sleep(f.bal.cfg.CheckS)
+					f.bal.BalanceOnce(p)
+				}
+			})
+		} else {
+			f.bal.Start()
+		}
+		f.env.Run(900)
+		return f.bal.Stats()
+	}
+	handRolled, generalized := run(true), run(false)
+	if !reflect.DeepEqual(handRolled, generalized) {
+		t.Fatalf("loop diverged:\nhand-rolled: %+v\nStartLoop:   %+v", handRolled, generalized)
+	}
+	if generalized.Moves == 0 {
+		t.Fatal("balancer never moved")
 	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"cloudmcp/internal/inventory"
 	"cloudmcp/internal/mgmt"
+	"cloudmcp/internal/reconcile"
 	"cloudmcp/internal/sim"
 )
 
@@ -93,43 +94,35 @@ func (e *Engine) FailHost(p *sim.Proc, host *inventory.Host) *Failover {
 
 	// Restart storm: each protected VM re-registers on a surviving host
 	// (inventory move; disks are on shared storage) and powers on through
-	// the normal management path, throttled to MaxConcurrentRestarts.
-	remaining := len(toRestart)
-	done := sim.NewSignal(e.env)
-	for _, vm := range toRestart {
-		vm := vm
-		e.env.Go("ha-restart:"+vm.Name, func(rp *sim.Proc) {
-			defer func() {
-				remaining--
-				if remaining == 0 {
-					done.Fire()
-				}
-			}()
-			e.slots.Acquire(rp, 1)
-			defer e.slots.Release(1)
-			if inv.VM(vm.ID) == nil || vm.State == inventory.VMDeleted {
-				return // deleted while queued
-			}
-			target := e.pickTarget(vm)
-			if target == nil {
-				fo.Unplaced++
-				return
-			}
-			if err := inv.MoveVM(vm, target, nil); err != nil {
-				fo.Unplaced++
-				return
-			}
-			task := e.mgr.PowerOn(rp, vm, mgmt.ReqCtx{Org: "ha"})
-			if task.Err != nil {
-				fo.Errors++
-				return
-			}
-			fo.Restarted++
-		})
+	// the normal management path, throttled to MaxConcurrentRestarts. The
+	// fan-out runs on the shared reconciliation primitive, whose shape is
+	// pinned to the hand-rolled storm this used
+	// (TestFailHostMatchesHandRolledStorm).
+	names := make([]string, len(toRestart))
+	for i, vm := range toRestart {
+		names[i] = "ha-restart:" + vm.Name
 	}
-	if remaining > 0 {
-		done.Wait(p)
-	}
+	reconcile.FanOut(p, e.env, e.slots, names, func(rp *sim.Proc, i int) {
+		vm := toRestart[i]
+		if inv.VM(vm.ID) == nil || vm.State == inventory.VMDeleted {
+			return // deleted while queued
+		}
+		target := e.pickTarget(vm)
+		if target == nil {
+			fo.Unplaced++
+			return
+		}
+		if err := inv.MoveVM(vm, target, nil); err != nil {
+			fo.Unplaced++
+			return
+		}
+		task := e.mgr.PowerOn(rp, vm, mgmt.ReqCtx{Org: "ha"})
+		if task.Err != nil {
+			fo.Errors++
+			return
+		}
+		fo.Restarted++
+	})
 	fo.End = p.Now()
 	e.failovers = append(e.failovers, fo)
 	out := fo

@@ -1,6 +1,8 @@
 package ha
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 
 	"cloudmcp/internal/inventory"
@@ -177,5 +179,114 @@ func TestBadConfig(t *testing.T) {
 	f := newFixture(t, DefaultConfig())
 	if _, err := New(f.env, f.mgr, Config{}); err == nil {
 		t.Fatal("expected error")
+	}
+}
+
+// failHostHandRolled is the restart storm exactly as FailHost spelled it
+// out before the fan-out was generalized onto reconcile.FanOut — kept
+// here verbatim so the refactor is pinned event-for-event.
+func failHostHandRolled(e *Engine, p *sim.Proc, host *inventory.Host) *Failover {
+	inv := e.mgr.Inventory()
+	fo := Failover{Host: host.ID, Start: p.Now()}
+	host.Failed = true
+
+	var toRestart []*inventory.VM
+	ids := make([]inventory.ID, len(host.VMs))
+	copy(ids, host.VMs)
+	for _, id := range ids {
+		vm := inv.VM(id)
+		if vm == nil {
+			continue
+		}
+		fo.Affected++
+		if vm.State == inventory.VMPoweredOn {
+			inv.PowerOff(vm)
+			toRestart = append(toRestart, vm)
+		}
+	}
+
+	remaining := len(toRestart)
+	done := sim.NewSignal(e.env)
+	for _, vm := range toRestart {
+		vm := vm
+		e.env.Go("ha-restart:"+vm.Name, func(rp *sim.Proc) {
+			defer func() {
+				remaining--
+				if remaining == 0 {
+					done.Fire()
+				}
+			}()
+			e.slots.Acquire(rp, 1)
+			defer e.slots.Release(1)
+			if inv.VM(vm.ID) == nil || vm.State == inventory.VMDeleted {
+				return
+			}
+			target := e.pickTarget(vm)
+			if target == nil {
+				fo.Unplaced++
+				return
+			}
+			if err := inv.MoveVM(vm, target, nil); err != nil {
+				fo.Unplaced++
+				return
+			}
+			task := e.mgr.PowerOn(rp, vm, mgmt.ReqCtx{Org: "ha"})
+			if task.Err != nil {
+				fo.Errors++
+				return
+			}
+			fo.Restarted++
+		})
+	}
+	if remaining > 0 {
+		done.Wait(p)
+	}
+	fo.End = p.Now()
+	e.failovers = append(e.failovers, fo)
+	out := fo
+	return &out
+}
+
+// placement snapshots which VMs sit on which hosts, and their states.
+func placement(f *fixture) map[string][]string {
+	out := make(map[string][]string)
+	for _, h := range f.hosts {
+		for _, id := range h.VMs {
+			vm := f.inv.VM(id)
+			out[h.Name] = append(out[h.Name], fmt.Sprintf("%d:%v", id, vm.State))
+		}
+	}
+	return out
+}
+
+// FailHost now fans out on reconcile.FanOut; pin it against the
+// hand-rolled storm it replaced — identical failover record, identical
+// finish time, identical resulting placement.
+func TestFailHostMatchesHandRolledStorm(t *testing.T) {
+	type outcome struct {
+		fo    Failover
+		endAt sim.Time
+		place map[string][]string
+	}
+	run := func(hand bool) outcome {
+		f := newFixture(t, Config{MaxConcurrentRestarts: 2})
+		f.populate(t, f.hosts[0], 5, 1)
+		var fo *Failover
+		f.env.Go("fail", func(p *sim.Proc) {
+			if hand {
+				fo = failHostHandRolled(f.eng, p, f.hosts[0])
+			} else {
+				fo = f.eng.FailHost(p, f.hosts[0])
+			}
+		})
+		end := f.env.Run(sim.Forever)
+		return outcome{fo: *fo, endAt: end, place: placement(f)}
+	}
+	handRolled, generalized := run(true), run(false)
+	if !reflect.DeepEqual(handRolled, generalized) {
+		t.Fatalf("storm diverged:\nhand-rolled: %+v\nFanOut:      %+v", handRolled, generalized)
+	}
+	if generalized.fo.Restarted != 5 {
+		t.Fatalf("restarted %d of 5", generalized.fo.Restarted)
 	}
 }

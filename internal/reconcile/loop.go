@@ -1,0 +1,55 @@
+package reconcile
+
+import "cloudmcp/internal/sim"
+
+// The loop primitives the rest of the codebase's background services
+// share. They exist so that every periodic scan (DRS passes, the
+// reconciliation resyncs) and every throttled fan-out (HA restart
+// storms) is built from the same two shapes — and so refactoring a
+// service onto them is provably event-order-neutral: StartLoop and
+// FanOut reproduce, statement for statement, the structures drs.Start
+// and ha.FailHost used before they were generalized (pinned by the
+// identity tests in those packages).
+
+// StartLoop spawns a named process that sleeps periodS then runs scan,
+// forever. The first scan fires one full period after Start, so adding
+// a loop never perturbs the event sequence at time zero.
+func StartLoop(env *sim.Env, name string, periodS float64, scan func(p *sim.Proc)) {
+	env.Go(name, func(p *sim.Proc) {
+		for {
+			p.Sleep(periodS)
+			scan(p)
+		}
+	})
+}
+
+// FanOut spawns one named process per entry, each running body(rp, i)
+// while holding one unit of slots (nil slots = unthrottled), and blocks
+// p until all complete. Completion is signalled from a deferred
+// decrement registered before the slot acquire, so a body that returns
+// early — or never gets a slot before its siblings finish — still
+// counts; the slot is released before the decrement, exactly as the HA
+// restart storm has always done.
+func FanOut(p *sim.Proc, env *sim.Env, slots *sim.Resource, names []string, body func(rp *sim.Proc, i int)) {
+	remaining := len(names)
+	done := sim.NewSignal(env)
+	for i, name := range names {
+		i := i
+		env.Go(name, func(rp *sim.Proc) {
+			defer func() {
+				remaining--
+				if remaining == 0 {
+					done.Fire()
+				}
+			}()
+			if slots != nil {
+				slots.Acquire(rp, 1)
+				defer slots.Release(1)
+			}
+			body(rp, i)
+		})
+	}
+	if remaining > 0 {
+		done.Wait(p)
+	}
+}

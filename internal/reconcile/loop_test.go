@@ -1,0 +1,115 @@
+package reconcile
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cloudmcp/internal/sim"
+)
+
+// StartLoop must reproduce the hand-rolled periodic loop drs.Start used
+// before the generalization: same process name, sleep-then-scan order,
+// first scan one full period in.
+func TestStartLoopMatchesHandRolledLoop(t *testing.T) {
+	run := func(start func(env *sim.Env, record func(p *sim.Proc))) []sim.Time {
+		env := sim.NewEnv()
+		var times []sim.Time
+		start(env, func(p *sim.Proc) { times = append(times, p.Now()) })
+		env.Run(100)
+		return times
+	}
+	hand := run(func(env *sim.Env, record func(p *sim.Proc)) {
+		env.Go("loop", func(p *sim.Proc) {
+			for {
+				p.Sleep(30)
+				record(p)
+			}
+		})
+	})
+	gen := run(func(env *sim.Env, record func(p *sim.Proc)) {
+		StartLoop(env, "loop", 30, record)
+	})
+	if len(hand) != 3 || !reflect.DeepEqual(hand, gen) {
+		t.Fatalf("hand-rolled %v != StartLoop %v", hand, gen)
+	}
+}
+
+// fanOutTrace runs len(durations) sleeping bodies through a 2-slot
+// throttle and records each body's start/end plus the overall finish.
+type fanOutTrace struct {
+	spans  [][2]sim.Time
+	doneAt sim.Time
+}
+
+func runFanOut(durations []float64, hand bool) fanOutTrace {
+	env := sim.NewEnv()
+	slots := sim.NewResource(env, "slots", 2)
+	tr := fanOutTrace{spans: make([][2]sim.Time, len(durations))}
+	names := make([]string, len(durations))
+	for i := range durations {
+		names[i] = fmt.Sprintf("job%d", i)
+	}
+	body := func(rp *sim.Proc, i int) {
+		tr.spans[i][0] = rp.Now()
+		rp.Sleep(durations[i])
+		tr.spans[i][1] = rp.Now()
+	}
+	env.Go("main", func(p *sim.Proc) {
+		if hand {
+			// Verbatim shape of the pre-generalization HA restart storm.
+			remaining := len(names)
+			done := sim.NewSignal(env)
+			for i := range names {
+				i := i
+				env.Go(names[i], func(rp *sim.Proc) {
+					defer func() {
+						remaining--
+						if remaining == 0 {
+							done.Fire()
+						}
+					}()
+					slots.Acquire(rp, 1)
+					defer slots.Release(1)
+					body(rp, i)
+				})
+			}
+			if remaining > 0 {
+				done.Wait(p)
+			}
+		} else {
+			FanOut(p, env, slots, names, body)
+		}
+		tr.doneAt = p.Now()
+	})
+	env.Run(sim.Forever)
+	return tr
+}
+
+// FanOut must reproduce the hand-rolled throttled fan-out ha.FailHost
+// used before the generalization, event for event.
+func TestFanOutMatchesHandRolledStorm(t *testing.T) {
+	durations := []float64{5, 3, 4, 1, 2}
+	hand := runFanOut(durations, true)
+	gen := runFanOut(durations, false)
+	if !reflect.DeepEqual(hand, gen) {
+		t.Fatalf("hand-rolled %+v != FanOut %+v", hand, gen)
+	}
+	// Sanity: 2 slots over durations {5,3,4,1,2} finishes at 8, not 5.
+	if gen.doneAt != 8 {
+		t.Fatalf("finished at %v, want 8", gen.doneAt)
+	}
+}
+
+func TestFanOutEmpty(t *testing.T) {
+	env := sim.NewEnv()
+	ran := false
+	env.Go("main", func(p *sim.Proc) {
+		FanOut(p, env, nil, nil, func(rp *sim.Proc, i int) { t.Error("body ran") })
+		ran = true
+	})
+	env.Run(sim.Forever)
+	if !ran {
+		t.Fatal("empty fan-out blocked")
+	}
+}

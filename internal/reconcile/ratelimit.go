@@ -1,0 +1,52 @@
+package reconcile
+
+import "cloudmcp/internal/sim"
+
+// TokenBucket is a deterministic reservation-style rate limiter in
+// virtual time: each Reserve consumes one token (the bucket refills at
+// rate tokens per second up to burst) and returns how long the caller
+// must wait before acting. Tokens may go negative — that is the
+// reservation: callers queue into the future in the order they reserve,
+// so the wait sequence is a pure function of the reservation times and
+// the limiter never draws randomness.
+type TokenBucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   sim.Time
+}
+
+// NewTokenBucket builds a full bucket. rate <= 0 disables limiting
+// (every reservation returns a zero wait).
+func NewTokenBucket(ratePerS, burst float64) *TokenBucket {
+	return &TokenBucket{rate: ratePerS, burst: burst, tokens: burst}
+}
+
+// ReserveAt advances the bucket to now, takes one token, and returns
+// the seconds the caller must wait before proceeding (0 when a token
+// was available). now must not decrease across calls.
+func (tb *TokenBucket) ReserveAt(now sim.Time) float64 {
+	if tb == nil || tb.rate <= 0 {
+		return 0
+	}
+	tb.tokens += (now - tb.last) * tb.rate
+	tb.last = now
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	tb.tokens--
+	if tb.tokens >= 0 {
+		return 0
+	}
+	return -tb.tokens / tb.rate
+}
+
+// Wait reserves a token and sleeps out the shortfall, returning the
+// seconds slept.
+func (tb *TokenBucket) Wait(p *sim.Proc) float64 {
+	d := tb.ReserveAt(p.Now())
+	if d > 0 {
+		p.Sleep(d)
+	}
+	return d
+}

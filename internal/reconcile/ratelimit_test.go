@@ -1,0 +1,58 @@
+package reconcile
+
+import (
+	"testing"
+
+	"cloudmcp/internal/sim"
+)
+
+// The limiter draws no randomness, so its wait sequence is a pure
+// function of the reservation times — pin it.
+func TestTokenBucketGoldenWaits(t *testing.T) {
+	tb := NewTokenBucket(2, 4)
+	want := []float64{0, 0, 0, 0, 0.5, 1, 1.5}
+	for i, w := range want {
+		if got := tb.ReserveAt(0); got != w {
+			t.Fatalf("reservation %d: wait %v, want %v", i, got, w)
+		}
+	}
+	// One second refills two tokens: the 2.0 s reservation debt at t=0
+	// (tokens = -3) becomes -1, so the next reservation waits 1 s.
+	if got := tb.ReserveAt(1); got != 1 {
+		t.Fatalf("post-refill wait %v, want 1", got)
+	}
+}
+
+// Reserving through Wait in virtual time: sleeping out the shortfall
+// refills the bucket, so a saturating caller settles at 1/rate spacing.
+func TestTokenBucketWaitSpacing(t *testing.T) {
+	env := sim.NewEnv()
+	tb := NewTokenBucket(2, 4)
+	var times []sim.Time
+	env.Go("w", func(p *sim.Proc) {
+		for i := 0; i < 7; i++ {
+			tb.Wait(p)
+			times = append(times, p.Now())
+		}
+	})
+	env.Run(sim.Forever)
+	want := []sim.Time{0, 0, 0, 0, 0.5, 1, 1.5}
+	if len(times) != len(want) {
+		t.Fatalf("got %d reservations", len(times))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("reservation %d at %v, want %v (all: %v)", i, times[i], want[i], times)
+		}
+	}
+}
+
+func TestTokenBucketDisabled(t *testing.T) {
+	for _, tb := range []*TokenBucket{nil, NewTokenBucket(0, 0), NewTokenBucket(-1, 4)} {
+		for i := 0; i < 100; i++ {
+			if got := tb.ReserveAt(0); got != 0 {
+				t.Fatalf("disabled bucket waited %v", got)
+			}
+		}
+	}
+}

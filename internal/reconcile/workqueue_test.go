@@ -1,0 +1,84 @@
+package reconcile
+
+import (
+	"testing"
+
+	"cloudmcp/internal/sim"
+)
+
+func TestQueueFIFOAndDedup(t *testing.T) {
+	env := sim.NewEnv()
+	q := NewQueue(env)
+	var got []string
+	env.Go("w", func(p *sim.Proc) {
+		q.Add("a")
+		q.Add("b")
+		q.Add("a") // already queued: coalesce
+		q.Add("b") // likewise
+		for i := 0; i < 2; i++ {
+			k := q.Get(p)
+			got = append(got, k)
+			q.Done(k)
+		}
+	})
+	env.Run(sim.Forever)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("processed %v, want [a b]", got)
+	}
+	if st := q.Stats(); st != (QueueStats{Adds: 2, Dedups: 2}) {
+		t.Fatalf("stats = %+v", st)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("len = %d after draining", q.Len())
+	}
+}
+
+// A key re-added while being processed must run exactly once more — not
+// zero times (the observation would be lost) and not once per re-add.
+func TestQueueDedupUnderRequeue(t *testing.T) {
+	env := sim.NewEnv()
+	q := NewQueue(env)
+	var rounds []string
+	env.Go("w", func(p *sim.Proc) {
+		q.Add("a")
+		k := q.Get(p)
+		q.Add("a") // arrives mid-process: mark dirty
+		q.Add("a") // coalesces into the dirty mark
+		q.Done(k)  // dirty: straight back on the queue
+		rounds = append(rounds, k)
+
+		k = q.Get(p)
+		q.Done(k) // clean this time: key returns to idle
+		rounds = append(rounds, k)
+
+		q.Add("a") // idle again: a fresh add enqueues
+		k = q.Get(p)
+		q.Done(k)
+		rounds = append(rounds, k)
+	})
+	env.Run(sim.Forever)
+	if len(rounds) != 3 {
+		t.Fatalf("ran %d rounds, want 3", len(rounds))
+	}
+	if st := q.Stats(); st != (QueueStats{Adds: 2, Dedups: 1, Requeues: 1}) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQueueBlocksUntilAdd(t *testing.T) {
+	env := sim.NewEnv()
+	q := NewQueue(env)
+	var gotAt sim.Time
+	env.Go("w", func(p *sim.Proc) {
+		q.Get(p)
+		gotAt = p.Now()
+	})
+	env.Go("producer", func(p *sim.Proc) {
+		p.Sleep(5)
+		q.Add("late")
+	})
+	env.Run(sim.Forever)
+	if gotAt != 5 {
+		t.Fatalf("worker woke at %v, want 5", gotAt)
+	}
+}

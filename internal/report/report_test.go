@@ -257,3 +257,39 @@ func TestCrossShardTableZeroTasks(t *testing.T) {
 		}
 	}
 }
+
+func TestReconcileTableEmpty(t *testing.T) {
+	if ReconcileTable(nil) != nil {
+		t.Fatal("empty reconcile rows must render as nil")
+	}
+	if ReconcileTable([]ReconcileRow{}) != nil {
+		t.Fatal("zero-length reconcile rows must render as nil")
+	}
+}
+
+func TestReconcileTableSingleRow(t *testing.T) {
+	out := renderString(t, ReconcileTable([]ReconcileRow{
+		{Controller: "drift", Runs: 20, Errors: 5, Retries: 4, Drops: 1,
+			Dedups: 3, Requeues: 2, ThrottleS: 7.5, BusyS: 40},
+	}))
+	for _, want := range []string{"drift", "total", "25.0", "7.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("reconcile table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("reconcile table leaked a non-finite value:\n%s", out)
+	}
+}
+
+func TestReconcileTableZeroRuns(t *testing.T) {
+	// A controller that never ran: the error rate is undefined and must
+	// render as 0, not NaN.
+	out := renderString(t, ReconcileTable([]ReconcileRow{{Controller: "catalog"}}))
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("zero-run reconcile row rendered NaN:\n%s", out)
+	}
+	if !strings.Contains(out, "catalog") {
+		t.Fatalf("controller name missing:\n%s", out)
+	}
+}
