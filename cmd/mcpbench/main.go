@@ -3,9 +3,9 @@
 // every artifact. Experiments and their internal parameter sweeps run in
 // parallel across -workers cores; output is byte-identical for any
 // worker count at a fixed seed. E17 (fault injection), E18
-// (management-plane scale-out), and E20 (reconciliation interference)
-// are opt-in via -only, -faults, -shards, or -reconcile and never
-// change the default artifact.
+// (management-plane scale-out), E19 (inventory scale ladder), and E20
+// (reconciliation interference) are opt-in via -only, -faults, -shards,
+// -scale, or -reconcile and never change the default artifact.
 //
 //	mcpbench                 # full-scale horizons (minutes of wall time)
 //	mcpbench -quick          # CI-scale horizons (seconds)
@@ -17,6 +17,7 @@
 //	mcpbench -faults         # E17 goodput-under-faults, default rate grid
 //	mcpbench -fault-rate 0.3 # E17 sweeping rates {0, 0.075, 0.15, 0.3}
 //	mcpbench -shards 8       # E18 scale-out, sweeping shards {1, 2, 4, 8}
+//	mcpbench -scale 1000000  # E19 ladder, inventories {1e3, 1e4, 1e5, 1e6}
 //	mcpbench -reconcile      # E20 reconciliation interference grid
 //	mcpbench -reconcile-interval 60 -reconcile-depth 4   # E20, custom grid
 //
@@ -25,6 +26,7 @@
 //	mcpbench -quick -cpuprofile cpu.pprof   # CPU profile of the run
 //	mcpbench -quick -memprofile mem.pprof   # heap profile at exit
 //	mcpbench -bench-kernel BENCH_kernel.json # kernel micro-benchmarks
+//	mcpbench -bench-inventory BENCH_inventory.json # placement-cost ladder
 //
 // All stdout writes are buffered and the final flush is checked, so a
 // full disk or closed pipe exits non-zero instead of silently truncating
@@ -56,12 +58,14 @@ func main() {
 	withFaults := flag.Bool("faults", false, "run E17: goodput and latency under injected control-plane faults")
 	faultRate := flag.Float64("fault-rate", 0, "highest injected fault rate for E17's sweep grid (0 = default grid; implies -faults)")
 	shards := flag.Int("shards", 0, "run E18: management-plane scale-out, sweeping shard counts up to this power of two (0 = off)")
+	scaleTo := flag.Int("scale", 0, "run E19: inventory scale ladder, sweeping prepopulated-VM counts in powers of ten up to this size (0 = off)")
 	withReconcile := flag.Bool("reconcile", false, "run E20: foreground goodput under the always-on reconciliation plane")
 	recInterval := flag.Float64("reconcile-interval", 0, "finest resync interval for E20's sweep grid in seconds (0 = default grid; implies -reconcile)")
 	recDepth := flag.Int("reconcile-depth", 0, "reconciliation worker depth for E20 (0 = default grid; implies -reconcile)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	benchOut := flag.String("bench-kernel", "", "run the kernel micro-benchmark suite and write BENCH_kernel-style JSON to this file instead of the experiment suite")
+	benchInvOut := flag.String("bench-inventory", "", "run the inventory placement-cost ladder and write BENCH_inventory-style JSON to this file instead of the experiment suite (rungs follow -scale, default up to 1e6)")
 	flag.Parse()
 	reconcileOn := *withReconcile || *recInterval > 0 || *recDepth > 0
 
@@ -72,6 +76,9 @@ func main() {
 	}
 	if *shards < 0 {
 		fatal(fmt.Errorf("-shards must be >= 0, got %d", *shards))
+	}
+	if err := validateScaleFlag(*scaleTo, *benchInvOut); err != nil {
+		fatal(err)
 	}
 	if *workers < 0 {
 		fatal(fmt.Errorf("-workers must be >= 0, got %d", *workers))
@@ -84,6 +91,9 @@ func main() {
 	}
 	if reconcileOn && (*shards > 0 || *withFaults || *faultRate > 0) {
 		fatal(fmt.Errorf("-reconcile (E20) is a separate bench from -shards (E18) and -faults (E17); pick one, or use -only"))
+	}
+	if *scaleTo > 0 && *benchInvOut == "" && (*shards > 0 || *withFaults || *faultRate > 0 || reconcileOn) {
+		fatal(fmt.Errorf("-scale (E19) is a separate bench from -shards (E18), -faults (E17), and -reconcile (E20); pick one, or use -only"))
 	}
 
 	if *cpuProfile != "" {
@@ -110,8 +120,9 @@ func main() {
 		seed: *seed, quick: *quick, only: *only, workers: *workers,
 		progress: *progress, showMetrics: *showMetrics, metricsOut: *metricsOut,
 		withFaults: *withFaults, faultRate: *faultRate, shards: *shards,
+		scaleTo:   *scaleTo,
 		reconcile: reconcileOn, recIntervalS: *recInterval, recDepth: *recDepth,
-		benchOut: *benchOut,
+		benchOut: *benchOut, benchInvOut: *benchInvOut,
 	})
 	if ferr := out.Flush(); err == nil && ferr != nil {
 		err = fmt.Errorf("write stdout: %w", ferr)
@@ -135,12 +146,14 @@ type options struct {
 	withFaults  bool
 	faultRate   float64
 	shards      int
+	scaleTo     int
 
 	reconcile    bool
 	recIntervalS float64
 	recDepth     int
 
-	benchOut string
+	benchOut    string
+	benchInvOut string
 }
 
 // run dispatches to the selected bench, writing every artifact to w.
@@ -148,6 +161,14 @@ func run(w io.Writer, o options) error {
 	switch {
 	case o.benchOut != "":
 		return benchKernel(w, o.benchOut, o.seed)
+	case o.benchInvOut != "":
+		max := o.scaleTo
+		if max == 0 {
+			max = 1000000
+		}
+		return benchInventory(w, o.benchInvOut, max)
+	case o.scaleTo > 0:
+		return scaleBench(w, o.seed, o.quick, o.workers, o.scaleTo)
 	case o.shards > 0:
 		return shardsBench(w, o.seed, o.quick, o.workers, o.shards)
 	case o.reconcile:
@@ -209,6 +230,39 @@ func shardsBench(w io.Writer, seed int64, quick bool, workers, max int) error {
 		return err
 	}
 	return res.Render(w)
+}
+
+// scaleBench runs E19 — closed-loop provisioning throughput, p99
+// latency, and DB utilization versus prepopulated-inventory size under
+// the default and group-commit database modes. max bounds the ladder:
+// rungs are the powers of ten from 1e3 up to max, plus max itself when
+// it is not a power of ten (so -scale 1000000 climbs {1e3, 1e4, 1e5,
+// 1e6}).
+func scaleBench(w io.Writer, seed int64, quick bool, workers, max int) error {
+	scale := 1.0
+	if quick {
+		scale = 0.1
+	}
+	res, err := core.RunE19(core.E19Params{
+		Seed: seed, Sizes: ladder(max), HorizonS: 1800 * scale, Workers: workers,
+	})
+	if err != nil {
+		return err
+	}
+	return res.Render(w)
+}
+
+// validateScaleFlag mirrors the -shards convention. -scale shapes either
+// the E19 ladder or, combined with -bench-inventory, the wall-clock
+// bench ladder; alone it must be a plausible inventory size.
+func validateScaleFlag(scaleTo int, benchInvOut string) error {
+	if scaleTo < 0 {
+		return fmt.Errorf("-scale must be >= 0, got %d", scaleTo)
+	}
+	if scaleTo > 0 && scaleTo < 1000 && benchInvOut == "" {
+		return fmt.Errorf("-scale below the smallest ladder rung (1000), got %d", scaleTo)
+	}
+	return nil
 }
 
 // reconcileBench runs E20 — foreground goodput, tail latency, and DB

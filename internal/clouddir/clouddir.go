@@ -14,6 +14,7 @@ package clouddir
 
 import (
 	"fmt"
+	"sort"
 
 	"cloudmcp/internal/inventory"
 	"cloudmcp/internal/metrics"
@@ -132,10 +133,16 @@ type Director struct {
 
 	chains map[chainKey]*chainState
 
-	// pendingGB tracks space claimed by in-flight deploys per datastore
-	// so concurrent placements don't herd onto the same "most free"
-	// datastore before any reservation lands.
-	pendingGB map[inventory.ID]float64
+	// baseDS lists, per template, the datastores holding a live
+	// linked-clone base (home or shadow) in ascending datastore-ID order.
+	// placeNearBase scans this list instead of the whole chains map, so
+	// its cost tracks the template's footprint — and ties break by
+	// datastore ID instead of map iteration order.
+	baseDS map[inventory.ID][]inventory.ID
+
+	// orgHash caches each org's sticky-placement hash (FNV-1a 32-bit of
+	// the org name), computed once per org instead of per placement.
+	orgHash map[string]uint32
 
 	nextVApp   int64
 	nextVM     int64
@@ -169,7 +176,8 @@ func New(env *sim.Env, mgr mgmt.API, model *ops.CostModel, stream *rng.Stream, c
 	d := &Director{
 		env: env, mgr: mgr, model: model, stream: stream, cfg: cfg,
 		chains:    make(map[chainKey]*chainState),
-		pendingGB: make(map[inventory.ID]float64),
+		baseDS:    make(map[inventory.ID][]inventory.ID),
+		orgHash:   make(map[string]uint32),
 		orgVMs:    make(map[string]int),
 		liveVApps: make(map[inventory.ID]bool),
 	}
@@ -249,6 +257,22 @@ func (d *Director) reqCtx(p *sim.Proc, org string, k ops.Kind, submit sim.Time) 
 // can't change the answer.
 func (d *Director) placeHost(memMB, prefShard int) *inventory.Host {
 	inv := d.mgr.Inventory()
+	if d.mgr.ShardCount() > 1 {
+		// The plane partitions hosts into inventory placement groups, so
+		// the preferred shard's freest host is one heap peek; the global
+		// index answers the fallback.
+		if h := inv.BestHostInGroup(prefShard, memMB); h != nil {
+			return h
+		}
+	}
+	return inv.BestHost(memMB)
+}
+
+// placeHostLinear is the retained O(hosts) reference implementation of
+// placeHost. The placement-equivalence suite fuzz-compares it against the
+// indexed path; production code never calls it.
+func (d *Director) placeHostLinear(memMB, prefShard int) *inventory.Host {
+	inv := d.mgr.Inventory()
 	affine := d.mgr.ShardCount() > 1
 	var best, bestPref *inventory.Host
 	for _, id := range inv.Hosts() {
@@ -275,13 +299,7 @@ func (d *Director) placeHost(memMB, prefShard int) *inventory.Host {
 func (d *Director) placeDatastore(needGB float64, org string) *inventory.Datastore {
 	inv := d.mgr.Inventory()
 	if d.cfg.Placement == PlaceStickyOrg {
-		ids := inv.Datastores()
-		if len(ids) > 0 {
-			h := uint32(2166136261)
-			for i := 0; i < len(org); i++ {
-				h = (h ^ uint32(org[i])) * 16777619
-			}
-			ds := inv.Datastore(ids[int(h)%len(ids)])
+		if ds := d.stickyDatastore(org); ds != nil {
 			if d.effectiveFree(ds) >= needGB {
 				return ds
 			}
@@ -289,6 +307,33 @@ func (d *Director) placeDatastore(needGB float64, org string) *inventory.Datasto
 		}
 		// Pinned datastore is full: fall through to most-free.
 	}
+	return inv.BestDatastore(needGB)
+}
+
+// stickyDatastore returns org's pinned datastore — FNV-1a of the org name
+// modulo the datastore count — or nil when there are no datastores. The
+// hash is cached per org, and the modulo stays in uint32 throughout:
+// int(h) of a hash above 2^31 is negative on 32-bit platforms, which the
+// old hand-rolled expression turned into an index panic.
+func (d *Director) stickyDatastore(org string) *inventory.Datastore {
+	inv := d.mgr.Inventory()
+	ids := inv.Datastores()
+	if len(ids) == 0 {
+		return nil
+	}
+	h, ok := d.orgHash[org]
+	if !ok {
+		h = rng.NewHash32().String(org).Sum()
+		d.orgHash[org] = h
+	}
+	return inv.Datastore(ids[h%uint32(len(ids))])
+}
+
+// placeDatastoreLinear is the retained O(datastores) reference
+// implementation of placeDatastore's most-free fallback, for the
+// placement-equivalence suite.
+func (d *Director) placeDatastoreLinear(needGB float64) *inventory.Datastore {
+	inv := d.mgr.Inventory()
 	var best *inventory.Datastore
 	for _, id := range inv.Datastores() {
 		ds := inv.Datastore(id)
@@ -305,12 +350,16 @@ func (d *Director) placeDatastore(needGB float64, org string) *inventory.Datasto
 // effectiveFree is the datastore's free space net of in-flight deploy
 // reservations.
 func (d *Director) effectiveFree(ds *inventory.Datastore) float64 {
-	return ds.FreeGB() - d.pendingGB[ds.ID]
+	return d.mgr.Inventory().EffectiveFreeGB(ds)
 }
 
 // placeNearBase returns the most-free datastore that already holds a
 // linked-clone base for tpl (its home datastore or an existing shadow)
-// and fits needGB, or nil when none qualifies.
+// and fits needGB, or nil when none qualifies. The template's home
+// datastore is considered first and candidates follow in ascending
+// datastore-ID order under a strict comparison, so equal-free ties
+// resolve to (home, then lowest ID) — deterministically, where ranging
+// over the chains map left the winner to map iteration order.
 func (d *Director) placeNearBase(tpl *inventory.Template, needGB float64) *inventory.Datastore {
 	inv := d.mgr.Inventory()
 	var best *inventory.Datastore
@@ -323,12 +372,27 @@ func (d *Director) placeNearBase(tpl *inventory.Template, needGB float64) *inven
 		}
 	}
 	consider(inv.Datastore(tpl.DatastoreID))
-	for key, cs := range d.chains {
-		if key.tpl == tpl.ID && cs.base != inventory.None {
-			consider(inv.Datastore(key.ds))
+	for _, id := range d.baseDS[tpl.ID] {
+		if id == tpl.DatastoreID {
+			continue // home already considered (and wins its ties)
 		}
+		consider(inv.Datastore(id))
 	}
 	return best
+}
+
+// registerBase records that ds holds a live linked-clone base for tpl,
+// keeping the per-template candidate list sorted by datastore ID.
+func (d *Director) registerBase(tpl, ds inventory.ID) {
+	list := d.baseDS[tpl]
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= ds })
+	if i < len(list) && list[i] == ds {
+		return
+	}
+	list = append(list, inventory.None)
+	copy(list[i+1:], list[i:])
+	list[i] = ds
+	d.baseDS[tpl] = list
 }
 
 // baseFor resolves (and if necessary creates) the linked-clone base for
@@ -344,6 +408,7 @@ func (d *Director) baseFor(p *sim.Proc, tpl *inventory.Template, ds *inventory.D
 		cs = &chainState{}
 		if ds.ID == tpl.DatastoreID {
 			cs.base = tpl.ID
+			d.registerBase(tpl.ID, ds.ID)
 		}
 		d.chains[key] = cs
 	}
@@ -371,6 +436,7 @@ func (d *Director) baseFor(p *sim.Proc, tpl *inventory.Template, ds *inventory.D
 		d.shadowCopies++
 		cs.base = shadow.ID
 		cs.count = 0
+		d.registerBase(tpl.ID, ds.ID)
 		sig.Fire()
 		break
 	}
@@ -502,8 +568,9 @@ func (d *Director) deployOne(p *sim.Proc, org, name string, tpl *inventory.Templ
 		out.err = fmt.Errorf("clouddir: no datastore fits %s (%.1f GB)", name, needGB)
 		return out
 	}
-	d.pendingGB[ds.ID] += needGB
-	defer func() { d.pendingGB[ds.ID] -= needGB }()
+	inv := d.mgr.Inventory()
+	inv.Reserve(ds.ID, needGB)
+	defer inv.Reserve(ds.ID, -needGB)
 	base := tpl
 	if mode == ops.LinkedClone {
 		// A shadow copy, when needed, is data-plane work this deploy

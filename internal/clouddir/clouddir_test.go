@@ -446,7 +446,7 @@ func TestMaintenanceHostSkippedByPlacement(t *testing.T) {
 		// Fence every host but the last.
 		hosts := f.inv.Hosts()
 		for _, id := range hosts[:len(hosts)-1] {
-			f.inv.Host(id).Maintenance = true
+			f.inv.SetHostMaintenance(f.inv.Host(id), true)
 		}
 		res := f.dir.DeployVApp(p, "orgA", f.tpl, 2, false)
 		if res.Err != nil {

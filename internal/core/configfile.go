@@ -124,6 +124,7 @@ type DatabaseFile struct {
 	WriteS       float64 `json:"writeS,omitempty"`
 	FlushS       float64 `json:"flushS,omitempty"`
 	GroupWindowS float64 `json:"groupWindowS,omitempty"`
+	GroupRows    bool    `json:"groupRows,omitempty"`
 }
 
 // NetworkFile mirrors netsim.Config.
@@ -242,6 +243,9 @@ func (f *ConfigFile) Apply() (Config, error) {
 			}
 			if m.Database.GroupWindowS != 0 {
 				db.GroupWindowS = m.Database.GroupWindowS
+			}
+			if m.Database.GroupRows {
+				db.GroupRows = true
 			}
 			cfg.Mgmt.Database = &db
 		}

@@ -481,6 +481,15 @@ func RunClosedLoop(cfg Config, clients int, horizonS, warmupS float64) (ClosedLo
 	if err != nil {
 		return ClosedLoopResult{}, err
 	}
+	return runClosedLoopOn(c, clients, horizonS, warmupS), nil
+}
+
+// runClosedLoopOn is RunClosedLoop against an already-built cloud, for
+// callers that prepare the inventory first (E19 prepopulates up to a
+// million VMs before the workload starts). The cloud must be freshly
+// built and not yet run.
+func runClosedLoopOn(c *Cloud, clients int, horizonS, warmupS float64) ClosedLoopResult {
+	cfg := c.cfg
 	inv := c.Inventory()
 	tpl := inv.Template(inv.Templates()[0])
 	// The label predates the harness being shared beyond E6; it is part
@@ -525,7 +534,7 @@ func RunClosedLoop(cfg Config, clients int, horizonS, warmupS float64) (ClosedLo
 	if cfg.Reconcile != nil {
 		res.Reconcile = c.ReconcileStats()
 	}
-	return res, nil
+	return res
 }
 
 // closedLoopDeploys runs `workers` closed-loop deploy→destroy clients for

@@ -82,10 +82,11 @@ func Experiments() []Experiment {
 
 // Extensions returns opt-in experiments that are not part of the
 // default suite. E17 enables fault injection, E18 reshapes the
-// management-plane topology, and E20 turns on the reconciliation
-// plane, so folding any of them into RunAll would grow the default
-// artifact; they run via RunExperiment (mcpbench -only E17/E18/E20),
-// mcpbench -faults, mcpbench -shards, or mcpbench -reconcile instead.
+// management-plane topology, E19 scales the inventory itself, and E20
+// turns on the reconciliation plane, so folding any of them into RunAll
+// would grow the default artifact; they run via RunExperiment (mcpbench
+// -only E17/E18/E19/E20), mcpbench -faults, mcpbench -shards, mcpbench
+// -scale, or mcpbench -reconcile instead.
 func Extensions() []Experiment {
 	return []Experiment{
 		{"E17", func(seed int64, scale float64, workers int) (Renderable, error) {
@@ -93,6 +94,14 @@ func Extensions() []Experiment {
 		}},
 		{"E18", func(seed int64, scale float64, workers int) (Renderable, error) {
 			return RunE18(E18Params{Seed: seed, HorizonS: 1800 * scale, Workers: workers})
+		}},
+		{"E19", func(seed int64, scale float64, workers int) (Renderable, error) {
+			pp := E19Params{Seed: seed, HorizonS: 1800 * scale, Workers: workers}
+			if scale < 1 {
+				// Quick/CI runs climb the two smallest rungs only.
+				pp.Sizes = []int{1000, 10000}
+			}
+			return RunE19(pp)
 		}},
 		{"E20", func(seed int64, scale float64, workers int) (Renderable, error) {
 			return RunE20(E20Params{Seed: seed, HorizonS: 1800 * scale, Workers: workers})

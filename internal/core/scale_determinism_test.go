@@ -1,0 +1,90 @@
+package core
+
+// Regression tests for the inventory-ladder determinism contract: E19's
+// artifact must be byte-identical for any sweep worker count, and the
+// prepopulated inventory must never leak wall-clock or map-order
+// nondeterminism into the simulated results.
+
+import (
+	"strings"
+	"testing"
+)
+
+func e19Quick(workers int) E19Params {
+	return E19Params{Seed: 1, Sizes: []int{1000, 4000}, Shards: []int{1, 2},
+		Clients: 24, HorizonS: 120, Workers: workers}
+}
+
+func renderE19(t *testing.T, p E19Params) string {
+	t.Helper()
+	r, err := RunE19(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestE19ArtifactIdenticalAcrossWorkerCounts(t *testing.T) {
+	serial := renderE19(t, e19Quick(1))
+	parallel := renderE19(t, e19Quick(8))
+	if serial != parallel {
+		t.Fatalf("E19 artifact differs between 1 and 8 sweep workers:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, parallel)
+	}
+	for _, want := range []string{
+		"E19: closed-loop provisioning vs inventory size",
+		"E19: throughput retention across the ladder",
+	} {
+		if !strings.Contains(serial, want) {
+			t.Fatalf("artifact missing %q:\n%s", want, serial)
+		}
+	}
+}
+
+func TestPrepopulateVMsDeterministicAndCounted(t *testing.T) {
+	build := func() *Cloud {
+		cfg := DefaultConfig(1)
+		cfg.Topology = e19Topology(4000)
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.PrepopulateVMs(4000); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := build(), build()
+	if got := a.Inventory().Count().VMs; got != 4000 {
+		t.Fatalf("prepopulated VMs = %d, want 4000", got)
+	}
+	av, bv := a.Inventory().VMs(), b.Inventory().VMs()
+	if len(av) != len(bv) {
+		t.Fatalf("VM counts differ: %d vs %d", len(av), len(bv))
+	}
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatalf("VM order diverged at %d: %v vs %v", i, av[i], bv[i])
+		}
+	}
+	if err := a.Inventory().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE19TopologyScalesWithSize(t *testing.T) {
+	small := e19Topology(1000)
+	if small.Hosts != 32 || small.Datastores != 8 {
+		t.Fatalf("small rung reshaped the default: %+v", small)
+	}
+	big := e19Topology(1000000)
+	if big.Hosts != 7813 || big.Datastores != 200 {
+		t.Fatalf("1e6 rung topology: hosts=%d datastores=%d, want 7813/200", big.Hosts, big.Datastores)
+	}
+	if big.DatastoreMBps != 4000 {
+		t.Fatalf("data plane not de-bottlenecked: %v MB/s", big.DatastoreMBps)
+	}
+}

@@ -114,7 +114,7 @@ func TestDisabledBalancer(t *testing.T) {
 func TestSkipsMaintenanceHosts(t *testing.T) {
 	f := newFixture(t, Config{Threshold: 0.2, CheckS: 60, Batch: 8})
 	f.loadHost(t, f.hosts[0], 10)
-	f.hosts[1].Maintenance = true
+	f.inv.SetHostMaintenance(f.hosts[1], true)
 	f.env.Go("drs", func(p *sim.Proc) { f.bal.BalanceOnce(p) })
 	f.env.Run(sim.Forever)
 	if len(f.hosts[1].VMs) != 0 {

@@ -73,7 +73,7 @@ func (e *Engine) Failovers() []Failover {
 func (e *Engine) FailHost(p *sim.Proc, host *inventory.Host) *Failover {
 	inv := e.mgr.Inventory()
 	fo := Failover{Host: host.ID, Start: p.Now()}
-	host.Failed = true
+	inv.SetHostFailed(host, true)
 
 	// The crash itself is instantaneous: powered-on VMs stop without any
 	// management operation (their CPU reservation vanishes with the host).
@@ -137,7 +137,7 @@ func (e *Engine) RecoverHost(host *inventory.Host) error {
 	if len(host.VMs) != 0 {
 		return fmt.Errorf("ha: host %s still has %d stranded VMs", host.Name, len(host.VMs))
 	}
-	host.Failed = false
+	e.mgr.Inventory().SetHostFailed(host, false)
 	return nil
 }
 

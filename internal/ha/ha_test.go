@@ -188,7 +188,7 @@ func TestBadConfig(t *testing.T) {
 func failHostHandRolled(e *Engine, p *sim.Proc, host *inventory.Host) *Failover {
 	inv := e.mgr.Inventory()
 	fo := Failover{Host: host.ID, Start: p.Now()}
-	host.Failed = true
+	inv.SetHostFailed(host, true)
 
 	var toRestart []*inventory.VM
 	ids := make([]inventory.ID, len(host.VMs))

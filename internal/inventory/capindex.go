@@ -1,0 +1,119 @@
+package inventory
+
+// capHeap is a position-tracked binary max-heap over (key desc, ID asc):
+// the root is the entry with the largest key, lowest ID on ties — exactly
+// the element a "most free, first wins" linear scan over creation order
+// returns. The position map makes Set and Remove O(log n) and Max O(1),
+// which is what turns per-deploy placement from O(entities) into
+// O(log entities) at million-VM inventories.
+//
+// Determinism contract: keys are recomputed from the authoritative entity
+// fields on every mutation (never updated incrementally), so a heap query
+// compares the very same float64 values a linear scan would and returns
+// the identical winner, ties included.
+type capHeap struct {
+	items []capEntry
+	pos   map[ID]int // entry ID → index in items
+}
+
+type capEntry struct {
+	key float64
+	id  ID
+}
+
+func newCapHeap() *capHeap { return &capHeap{pos: make(map[ID]int)} }
+
+// capLess reports whether a outranks b: higher key first, lower ID on
+// ties. This is a total order, so the heap maximum is unique.
+func capLess(a, b capEntry) bool {
+	if a.key != b.key {
+		return a.key > b.key
+	}
+	return a.id < b.id
+}
+
+// Len returns the number of indexed entries.
+func (h *capHeap) Len() int { return len(h.items) }
+
+// Max returns the entry with the largest key (lowest ID on ties).
+func (h *capHeap) Max() (ID, float64, bool) {
+	if len(h.items) == 0 {
+		return None, 0, false
+	}
+	return h.items[0].id, h.items[0].key, true
+}
+
+// Key returns id's current key and whether id is indexed.
+func (h *capHeap) Key(id ID) (float64, bool) {
+	i, ok := h.pos[id]
+	if !ok {
+		return 0, false
+	}
+	return h.items[i].key, true
+}
+
+// Set inserts id with the given key, or re-keys it if already present.
+func (h *capHeap) Set(id ID, key float64) {
+	if i, ok := h.pos[id]; ok {
+		h.items[i].key = key
+		h.down(i)
+		h.up(i)
+		return
+	}
+	h.items = append(h.items, capEntry{key: key, id: id})
+	i := len(h.items) - 1
+	h.pos[id] = i
+	h.up(i)
+}
+
+// Remove deletes id from the index; absent IDs are a no-op.
+func (h *capHeap) Remove(id ID) {
+	i, ok := h.pos[id]
+	if !ok {
+		return
+	}
+	last := len(h.items) - 1
+	h.swap(i, last)
+	h.items = h.items[:last]
+	delete(h.pos, id)
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+}
+
+func (h *capHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i].id] = i
+	h.pos[h.items[j].id] = j
+}
+
+func (h *capHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !capLess(h.items[i], h.items[parent]) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *capHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && capLess(h.items[l], h.items[best]) {
+			best = l
+		}
+		if r < n && capLess(h.items[r], h.items[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}

@@ -1,0 +1,303 @@
+package inventory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// referenceBestHost is the O(hosts) scan BestHost replaced: most free
+// memory wins, first host in creation order wins ties (strict >).
+func referenceBestHost(inv *Inventory, memMB int) *Host {
+	var best *Host
+	for _, id := range inv.Hosts() {
+		h := inv.Host(id)
+		if !h.InService() || h.FreeMemMB() < memMB {
+			continue
+		}
+		if best == nil || h.FreeMemMB() > best.FreeMemMB() {
+			best = h
+		}
+	}
+	return best
+}
+
+// referenceBestDatastore is the O(datastores) scan BestDatastore
+// replaced, net of reservations.
+func referenceBestDatastore(inv *Inventory, needGB float64) *Datastore {
+	var best *Datastore
+	for _, id := range inv.Datastores() {
+		d := inv.Datastore(id)
+		if inv.EffectiveFreeGB(d) < needGB {
+			continue
+		}
+		if best == nil || inv.EffectiveFreeGB(d) > inv.EffectiveFreeGB(best) {
+			best = d
+		}
+	}
+	return best
+}
+
+func TestCapHeapOrdering(t *testing.T) {
+	h := newCapHeap()
+	h.Set(ID(3), 10)
+	h.Set(ID(1), 10) // same key, lower ID: must win the tie
+	h.Set(ID(2), 30)
+	if id, key, ok := h.Max(); !ok || id != 2 || key != 30 {
+		t.Fatalf("max = (%v, %v, %v), want (2, 30, true)", id, key, ok)
+	}
+	h.Remove(ID(2))
+	if id, key, ok := h.Max(); !ok || id != 1 || key != 10 {
+		t.Fatalf("after remove, max = (%v, %v, %v), want (1, 10, true)", id, key, ok)
+	}
+	h.Set(ID(3), 99) // rekey up
+	if id, _, _ := h.Max(); id != 3 {
+		t.Fatalf("after rekey, max id = %v, want 3", id)
+	}
+	h.Remove(ID(3))
+	h.Remove(ID(1))
+	if _, _, ok := h.Max(); ok || h.Len() != 0 {
+		t.Fatal("heap not empty after removing everything")
+	}
+}
+
+func TestCapHeapMatchesScanUnderRandomOps(t *testing.T) {
+	// Property: after any Set/Remove sequence, Max equals a linear scan
+	// under the (key desc, ID asc) order.
+	f := func(script []uint16) bool {
+		h := newCapHeap()
+		keys := map[ID]float64{}
+		for _, op := range script {
+			id := ID(op % 16)
+			if op%3 == 0 {
+				h.Remove(id)
+				delete(keys, id)
+			} else {
+				k := float64(op % 7) // few distinct keys force ties
+				h.Set(id, k)
+				keys[id] = k
+			}
+			var bestID ID
+			bestKey, found := 0.0, false
+			for id, k := range keys {
+				if !found || k > bestKey || (k == bestKey && id < bestID) {
+					bestID, bestKey, found = id, k, true
+				}
+			}
+			gotID, gotKey, ok := h.Max()
+			if ok != found || (found && (gotID != bestID || gotKey != bestKey)) {
+				return false
+			}
+			if h.Len() != len(keys) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestHostMatchesReferenceScan(t *testing.T) {
+	inv := New()
+	dc := inv.AddDatacenter("dc")
+	cl := inv.AddCluster(dc, "cl")
+	var hosts []*Host
+	for i := 0; i < 8; i++ {
+		hosts = append(hosts, inv.AddHost(cl, "h", 40000, 65536))
+	}
+	var dss []*Datastore
+	for i := 0; i < 4; i++ {
+		dss = append(dss, inv.AddDatastore(dc, "d", 2000, 100))
+	}
+	// Deterministic pseudo-random churn: VM adds/removes, maintenance
+	// and failure toggles, reservations. After every mutation the index
+	// must agree with the scans exactly — including float equality.
+	var vms []*VM
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	for step := 0; step < 2000; step++ {
+		switch next(6) {
+		case 0, 1:
+			h, d := hosts[next(len(hosts))], dss[next(len(dss))]
+			if vm, err := inv.AddVM("vm", h, d, 1, 1024*(1+next(4)), float64(1+next(20))); err == nil {
+				vms = append(vms, vm)
+			}
+		case 2:
+			if len(vms) > 0 {
+				i := next(len(vms))
+				if inv.RemoveVM(vms[i]) == nil {
+					vms = append(vms[:i], vms[i+1:]...)
+				}
+			}
+		case 3:
+			h := hosts[next(len(hosts))]
+			inv.SetHostMaintenance(h, !h.Maintenance)
+		case 4:
+			h := hosts[next(len(hosts))]
+			inv.SetHostFailed(h, !h.Failed)
+		case 5:
+			d := dss[next(len(dss))]
+			if next(2) == 0 {
+				inv.Reserve(d.ID, float64(next(50)))
+			} else if r := inv.Reserved(d.ID); r > 0 {
+				inv.Reserve(d.ID, -r)
+			}
+		}
+		memMB := 1024 * (1 + next(8))
+		if got, want := inv.BestHost(memMB), referenceBestHost(inv, memMB); got != want {
+			t.Fatalf("step %d: BestHost(%d) = %v, scan = %v", step, memMB, got, want)
+		}
+		needGB := float64(1 + next(40))
+		if got, want := inv.BestDatastore(needGB), referenceBestDatastore(inv, needGB); got != want {
+			t.Fatalf("step %d: BestDatastore(%v) = %v, scan = %v", step, needGB, got, want)
+		}
+		if step%100 == 0 {
+			if err := inv.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := inv.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestHostInGroupMatchesReferenceScan(t *testing.T) {
+	inv := New()
+	dc := inv.AddDatacenter("dc")
+	cl := inv.AddCluster(dc, "cl")
+	d := inv.AddDatastore(dc, "d", 10000, 100)
+	const groups = 3
+	var hosts []*Host
+	for i := 0; i < 9; i++ {
+		h := inv.AddHost(cl, "h", 40000, 65536)
+		inv.SetHostGroup(h.ID, i*groups/9)
+		hosts = append(hosts, h)
+	}
+	ref := func(group, memMB int) *Host {
+		var best *Host
+		for i, h := range hosts {
+			if i*groups/9 != group || !h.InService() || h.FreeMemMB() < memMB {
+				continue
+			}
+			if best == nil || h.FreeMemMB() > best.FreeMemMB() {
+				best = h
+			}
+		}
+		return best
+	}
+	state := uint64(7)
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	var vms []*VM
+	for step := 0; step < 1000; step++ {
+		switch next(4) {
+		case 0, 1:
+			if vm, err := inv.AddVM("vm", hosts[next(9)], d, 1, 2048*(1+next(4)), 1); err == nil {
+				vms = append(vms, vm)
+			}
+		case 2:
+			if len(vms) > 0 {
+				i := next(len(vms))
+				if inv.RemoveVM(vms[i]) == nil {
+					vms = append(vms[:i], vms[i+1:]...)
+				}
+			}
+		case 3:
+			h := hosts[next(9)]
+			inv.SetHostMaintenance(h, !h.Maintenance)
+		}
+		group, memMB := next(groups), 2048*(1+next(6))
+		if got, want := inv.BestHostInGroup(group, memMB), ref(group, memMB); got != want {
+			t.Fatalf("step %d: BestHostInGroup(%d, %d) = %v, scan = %v", step, group, memMB, got, want)
+		}
+	}
+	if err := inv.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveVMKeepsEnumerationOrder(t *testing.T) {
+	// RemoveVM deletes in O(1) via tombstoning; VMs() must still
+	// enumerate survivors in creation order — the order every artifact
+	// and CheckInvariants walk depends on.
+	inv, _, hosts, ds, _ := build(t)
+	var created []*VM
+	for i := 0; i < 10; i++ {
+		vm, err := inv.AddVM("vm", hosts[i%2], ds[i%2], 1, 1024, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		created = append(created, vm)
+	}
+	// Remove from the middle, front, and back.
+	for _, i := range []int{4, 0, 9, 5} {
+		if err := inv.RemoveVM(created[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []ID{created[1].ID, created[2].ID, created[3].ID, created[6].ID, created[7].ID, created[8].ID}
+	got := inv.VMs()
+	if len(got) != len(want) {
+		t.Fatalf("VMs() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("VMs()[%d] = %v, want %v (creation order violated)", i, got[i], want[i])
+		}
+	}
+	if c := inv.Count(); c.VMs != 6 {
+		t.Fatalf("Count().VMs = %d, want 6", c.VMs)
+	}
+	// Enumeration stays stable across the compaction VMs() performed.
+	again := inv.VMs()
+	for i := range want {
+		if again[i] != want[i] {
+			t.Fatalf("second VMs()[%d] = %v, want %v", i, again[i], want[i])
+		}
+	}
+	if err := inv.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// New VMs append after survivors.
+	vm, err := inv.AddVM("tail", hosts[0], ds[0], 1, 1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := inv.VMs()
+	if ids[len(ids)-1] != vm.ID {
+		t.Fatalf("new VM not at tail: %v", ids)
+	}
+}
+
+func TestSetHostGroupMovesBetweenGroupHeaps(t *testing.T) {
+	inv := New()
+	dc := inv.AddDatacenter("dc")
+	cl := inv.AddCluster(dc, "cl")
+	h0 := inv.AddHost(cl, "h0", 40000, 65536)
+	h1 := inv.AddHost(cl, "h1", 40000, 32768)
+	inv.SetHostGroup(h0.ID, 0)
+	inv.SetHostGroup(h1.ID, 1)
+	if got := inv.BestHostInGroup(0, 1024); got != h0 {
+		t.Fatalf("group 0 best = %v, want h0", got)
+	}
+	if got := inv.BestHostInGroup(1, 1024); got != h1 {
+		t.Fatalf("group 1 best = %v, want h1", got)
+	}
+	inv.SetHostGroup(h0.ID, 1)
+	if got := inv.BestHostInGroup(0, 1024); got != nil {
+		t.Fatalf("group 0 best after move = %v, want nil", got)
+	}
+	if got := inv.BestHostInGroup(1, 1024); got != h0 {
+		t.Fatalf("group 1 best after move = %v, want h0 (more free memory)", got)
+	}
+	if err := inv.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

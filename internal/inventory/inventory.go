@@ -202,11 +202,66 @@ type Inventory struct {
 	vms         []ID
 	templates   []ID
 	vapps       []ID
+
+	// vms and vapps churn on every deploy/delete; an O(n) ordered delete
+	// there is quadratic at million-VM scale. Removals tombstone the slot
+	// (None) in O(1) via the position maps and enumeration compacts
+	// lazily, preserving creation order exactly.
+	vmPos     map[ID]int
+	vmHoles   int
+	vappPos   map[ID]int
+	vappHoles int
+
+	// Free-capacity indexes: hostIdx orders in-service hosts by free
+	// memory, dsIdx orders datastores by free space net of reservations.
+	// Both are maintained on every mutation so placement is O(1) per
+	// query instead of a linear scan, with winners identical to the scan
+	// (see capHeap). groupIdx adds per-group host heaps once SetHostGroup
+	// partitions hosts (the sharded plane's shard affinity).
+	hostIdx   *capHeap
+	dsIdx     *capHeap
+	reserved  map[ID]float64 // datastore → in-flight reservation, GB
+	hostGroup map[ID]int     // host → placement group (shard)
+	groupIdx  map[int]*capHeap
 }
 
 // New returns an empty inventory.
 func New() *Inventory {
-	return &Inventory{nextID: 1, entities: make(map[ID]any)}
+	return &Inventory{
+		nextID:   1,
+		entities: make(map[ID]any),
+		vmPos:    make(map[ID]int),
+		vappPos:  make(map[ID]int),
+		hostIdx:  newCapHeap(),
+		dsIdx:    newCapHeap(),
+		reserved: make(map[ID]float64),
+	}
+}
+
+// rekeyHost refreshes h's entry in the free-memory indexes. Hosts out of
+// service (maintenance or failed) are excluded entirely, matching the
+// InService check every placement scan applies.
+func (inv *Inventory) rekeyHost(h *Host) {
+	g, grouped := inv.hostGroup[h.ID]
+	if h.InService() {
+		key := float64(h.FreeMemMB())
+		inv.hostIdx.Set(h.ID, key)
+		if grouped {
+			inv.groupIdx[g].Set(h.ID, key)
+		}
+		return
+	}
+	inv.hostIdx.Remove(h.ID)
+	if grouped {
+		inv.groupIdx[g].Remove(h.ID)
+	}
+}
+
+// rekeyDatastore refreshes d's entry in the free-space index. The key is
+// recomputed from scratch so it bit-matches what a linear scan over
+// FreeGB()-reserved would compare.
+func (inv *Inventory) rekeyDatastore(d *Datastore) {
+	inv.dsIdx.Set(d.ID, d.FreeGB()-inv.reserved[d.ID])
 }
 
 func (inv *Inventory) allocate() ID {
@@ -244,6 +299,7 @@ func (inv *Inventory) AddHost(c *Cluster, name string, cpuMHz, memMB int) *Host 
 	inv.entities[h.ID] = h
 	inv.hosts = append(inv.hosts, h.ID)
 	c.Hosts = append(c.Hosts, h.ID)
+	inv.rekeyHost(h)
 	return h
 }
 
@@ -259,6 +315,7 @@ func (inv *Inventory) AddDatastore(dc *Datacenter, name string, capacityGB, band
 	inv.entities[d.ID] = d
 	inv.datastores = append(inv.datastores, d.ID)
 	dc.Datastores = append(dc.Datastores, d.ID)
+	inv.rekeyDatastore(d)
 	return d
 }
 
@@ -274,6 +331,7 @@ func (inv *Inventory) AddTemplate(ds *Datastore, name string, diskGB float64, me
 	inv.entities[t.ID] = t
 	inv.templates = append(inv.templates, t.ID)
 	ds.UsedGB += diskGB
+	inv.rekeyDatastore(ds)
 	return t
 }
 
@@ -284,6 +342,7 @@ func (inv *Inventory) AddVApp(dc *Datacenter, name, org string) *VApp {
 		OrgName: org,
 	}
 	inv.entities[v.ID] = v
+	inv.vappPos[v.ID] = len(inv.vapps)
 	inv.vapps = append(inv.vapps, v.ID)
 	return v
 }
@@ -308,11 +367,14 @@ func (inv *Inventory) AddVM(name string, host *Host, ds *Datastore, cpus, memMB 
 		HostID: host.ID, DatastoreID: ds.ID,
 	}
 	inv.entities[vm.ID] = vm
+	inv.vmPos[vm.ID] = len(inv.vms)
 	inv.vms = append(inv.vms, vm.ID)
 	host.VMs = append(host.VMs, vm.ID)
 	host.UsedMemMB += memMB
 	ds.VMs = append(ds.VMs, vm.ID)
 	ds.UsedGB += diskGB
+	inv.rekeyHost(host)
+	inv.rekeyDatastore(ds)
 	return vm, nil
 }
 
@@ -337,7 +399,13 @@ func (inv *Inventory) RemoveVM(vm *VM) error {
 	}
 	vm.State = VMDeleted
 	delete(inv.entities, vm.ID)
-	inv.vms = removeID(inv.vms, vm.ID)
+	if i, ok := inv.vmPos[vm.ID]; ok {
+		inv.vms[i] = None
+		delete(inv.vmPos, vm.ID)
+		inv.vmHoles++
+	}
+	inv.rekeyHost(host)
+	inv.rekeyDatastore(ds)
 	return nil
 }
 
@@ -347,7 +415,11 @@ func (inv *Inventory) RemoveVApp(va *VApp) error {
 		return fmt.Errorf("inventory: vApp %s still has %d VMs", va.Name, len(va.VMs))
 	}
 	delete(inv.entities, va.ID)
-	inv.vapps = removeID(inv.vapps, va.ID)
+	if i, ok := inv.vappPos[va.ID]; ok {
+		inv.vapps[i] = None
+		delete(inv.vappPos, va.ID)
+		inv.vappHoles++
+	}
 	return nil
 }
 
@@ -372,6 +444,8 @@ func (inv *Inventory) MoveVM(vm *VM, newHost *Host, newDS *Datastore) error {
 		newHost.UsedMemMB += vm.MemMB
 		vm.HostID = newHost.ID
 		vm.Parent = newHost.ID
+		inv.rekeyHost(old)
+		inv.rekeyHost(newHost)
 	}
 	if newDS != nil && newDS.ID != vm.DatastoreID {
 		if newDS.FreeGB() < vm.DiskGB {
@@ -383,6 +457,8 @@ func (inv *Inventory) MoveVM(vm *VM, newHost *Host, newDS *Datastore) error {
 		newDS.VMs = append(newDS.VMs, vm.ID)
 		newDS.UsedGB += vm.DiskGB
 		vm.DatastoreID = newDS.ID
+		inv.rekeyDatastore(old)
+		inv.rekeyDatastore(newDS)
 	}
 	return nil
 }
@@ -437,6 +513,7 @@ func (inv *Inventory) Suspend(vm *VM, suspendGB float64) error {
 	vm.SuspendGB = suspendGB
 	vm.DiskGB += suspendGB
 	ds.UsedGB += suspendGB
+	inv.rekeyDatastore(ds)
 	vm.State = VMSuspended
 	return nil
 }
@@ -462,9 +539,11 @@ func (inv *Inventory) reclaimSuspendFile(vm *VM) {
 	if vm.SuspendGB <= 0 {
 		return
 	}
+	ds := inv.Datastore(vm.DatastoreID)
 	vm.DiskGB -= vm.SuspendGB
-	inv.Datastore(vm.DatastoreID).UsedGB -= vm.SuspendGB
+	ds.UsedGB -= vm.SuspendGB
 	vm.SuspendGB = 0
+	inv.rekeyDatastore(ds)
 }
 
 func removeID(ids []ID, id ID) []ID {
@@ -533,14 +612,40 @@ func (inv *Inventory) Hosts() []ID { return inv.hosts }
 // Datastores returns all datastore IDs in creation order.
 func (inv *Inventory) Datastores() []ID { return inv.datastores }
 
-// VMs returns all live VM IDs in creation order.
-func (inv *Inventory) VMs() []ID { return inv.vms }
+// VMs returns all live VM IDs in creation order. Removal tombstones are
+// compacted here (order-preserving), so the returned slice never holds
+// holes; the slice is valid until the next mutation.
+func (inv *Inventory) VMs() []ID {
+	if inv.vmHoles > 0 {
+		inv.vms, inv.vmHoles = compactIDs(inv.vms, inv.vmPos)
+	}
+	return inv.vms
+}
 
 // Templates returns all template IDs in creation order.
 func (inv *Inventory) Templates() []ID { return inv.templates }
 
-// VApps returns all live vApp IDs in creation order.
-func (inv *Inventory) VApps() []ID { return inv.vapps }
+// VApps returns all live vApp IDs in creation order, compacting removal
+// tombstones like VMs.
+func (inv *Inventory) VApps() []ID {
+	if inv.vappHoles > 0 {
+		inv.vapps, inv.vappHoles = compactIDs(inv.vapps, inv.vappPos)
+	}
+	return inv.vapps
+}
+
+// compactIDs squeezes None tombstones out of ids in place, rebuilding the
+// position map, and returns the shortened slice with a zero hole count.
+func compactIDs(ids []ID, pos map[ID]int) ([]ID, int) {
+	out := ids[:0]
+	for _, id := range ids {
+		if id != None {
+			pos[id] = len(out)
+			out = append(out, id)
+		}
+	}
+	return out, 0
+}
 
 // Path returns the chain of entity IDs from the root down to and including
 // id — the set a management operation locks under hierarchical locking.
@@ -590,9 +695,130 @@ func (inv *Inventory) Count() Counts {
 		Hosts:       len(inv.hosts),
 		Datastores:  len(inv.datastores),
 		Templates:   len(inv.templates),
-		VMs:         len(inv.vms),
-		VApps:       len(inv.vapps),
+		VMs:         len(inv.vms) - inv.vmHoles,
+		VApps:       len(inv.vapps) - inv.vappHoles,
 	}
+}
+
+// BestHost returns the in-service host with the most free memory (lowest
+// ID on ties) provided it fits memMB, or nil when no host fits. This is
+// the indexed equivalent of scanning Hosts() in creation order keeping
+// the strictly-freest fitting host: if the globally freest host does not
+// fit, no host does, so one root peek answers the scan exactly.
+func (inv *Inventory) BestHost(memMB int) *Host {
+	id, key, ok := inv.hostIdx.Max()
+	if !ok || key < float64(memMB) {
+		return nil
+	}
+	return inv.Host(id)
+}
+
+// BestHostInGroup is BestHost restricted to one placement group (the
+// sharded plane's host partition). It returns nil when the group is
+// empty, has no fitting host, or no groups were ever assigned.
+func (inv *Inventory) BestHostInGroup(group, memMB int) *Host {
+	h := inv.groupIdx[group]
+	if h == nil {
+		return nil
+	}
+	id, key, ok := h.Max()
+	if !ok || key < float64(memMB) {
+		return nil
+	}
+	return inv.Host(id)
+}
+
+// SetHostGroup assigns host id to a placement group, maintaining the
+// per-group free-memory index. The sharded plane calls this with its
+// host→shard partition; regrouping moves the host between group heaps.
+func (inv *Inventory) SetHostGroup(id ID, group int) {
+	h := inv.Host(id)
+	if h == nil {
+		panic(fmt.Sprintf("inventory: SetHostGroup of non-host %d", id))
+	}
+	if old, ok := inv.hostGroup[id]; ok {
+		if old == group {
+			return
+		}
+		inv.groupIdx[old].Remove(id)
+	}
+	if inv.groupIdx == nil {
+		inv.hostGroup = make(map[ID]int)
+		inv.groupIdx = make(map[int]*capHeap)
+	}
+	inv.hostGroup[id] = group
+	if inv.groupIdx[group] == nil {
+		inv.groupIdx[group] = newCapHeap()
+	}
+	inv.rekeyHost(h)
+}
+
+// BestDatastore returns the datastore with the most free space net of
+// reservations (lowest ID on ties) provided it fits needGB, or nil when
+// none fits — the indexed equivalent of the most-effective-free scan.
+func (inv *Inventory) BestDatastore(needGB float64) *Datastore {
+	id, key, ok := inv.dsIdx.Max()
+	if !ok || key < needGB {
+		return nil
+	}
+	return inv.Datastore(id)
+}
+
+// Reserve adjusts the in-flight space reservation against datastore id by
+// deltaGB (positive to claim, negative to release). Reservations reduce
+// the datastore's effective free space for placement without charging
+// UsedGB, so concurrent deploys don't herd onto the same "most free"
+// datastore before any capacity lands.
+func (inv *Inventory) Reserve(id ID, deltaGB float64) {
+	d := inv.Datastore(id)
+	if d == nil {
+		panic(fmt.Sprintf("inventory: Reserve on non-datastore %d", id))
+	}
+	inv.reserved[id] += deltaGB
+	inv.rekeyDatastore(d)
+}
+
+// Reserved returns the current in-flight reservation against datastore id.
+func (inv *Inventory) Reserved(id ID) float64 { return inv.reserved[id] }
+
+// EffectiveFreeGB is d's free space net of in-flight reservations — the
+// quantity placement compares.
+func (inv *Inventory) EffectiveFreeGB(d *Datastore) float64 {
+	return d.FreeGB() - inv.reserved[d.ID]
+}
+
+// SetHostMaintenance fences (or unfences) h for placement, keeping the
+// free-memory indexes consistent. All maintenance transitions must go
+// through here rather than writing the field directly.
+func (inv *Inventory) SetHostMaintenance(h *Host, v bool) {
+	h.Maintenance = v
+	inv.rekeyHost(h)
+}
+
+// SetHostFailed marks h crashed (or repaired), keeping the free-memory
+// indexes consistent. All failure transitions must go through here.
+func (inv *Inventory) SetHostFailed(h *Host, v bool) {
+	h.Failed = v
+	inv.rekeyHost(h)
+}
+
+// AddDatastoreUsed charges deltaGB of space on d (negative to reclaim)
+// for disk growth outside VM add/move — snapshots and consolidation.
+func (inv *Inventory) AddDatastoreUsed(d *Datastore, deltaGB float64) {
+	d.UsedGB += deltaGB
+	inv.rekeyDatastore(d)
+}
+
+// SetDatastoreUsed overwrites d's used space (scenario and test setup).
+func (inv *Inventory) SetDatastoreUsed(d *Datastore, usedGB float64) {
+	d.UsedGB = usedGB
+	inv.rekeyDatastore(d)
+}
+
+// SetDatastoreCapacity overwrites d's capacity (scenario and test setup).
+func (inv *Inventory) SetDatastoreCapacity(d *Datastore, capacityGB float64) {
+	d.CapacityGB = capacityGB
+	inv.rekeyDatastore(d)
 }
 
 // CheckInvariants verifies capacity accounting and cross-references,
@@ -650,11 +876,77 @@ func (inv *Inventory) CheckInvariants() error {
 			return fmt.Errorf("datastore %s overcommitted", d.Name)
 		}
 	}
-	for _, vid := range inv.vms {
+	holes := 0
+	for i, vid := range inv.vms {
+		if vid == None {
+			holes++
+			continue
+		}
+		if inv.vmPos[vid] != i {
+			return fmt.Errorf("VM %d position map says %d, slot is %d", vid, inv.vmPos[vid], i)
+		}
 		vm := inv.VM(vid)
+		if vm == nil {
+			return fmt.Errorf("VM list references missing VM %d", vid)
+		}
 		if vm.State == VMDeleted {
 			return fmt.Errorf("deleted VM %s still registered", vm.Name)
 		}
+	}
+	if holes != inv.vmHoles {
+		return fmt.Errorf("VM list has %d tombstones, counter says %d", holes, inv.vmHoles)
+	}
+	if len(inv.vmPos) != len(inv.vms)-inv.vmHoles {
+		return fmt.Errorf("VM position map size %d != %d live entries", len(inv.vmPos), len(inv.vms)-inv.vmHoles)
+	}
+	return inv.checkIndexes()
+}
+
+// checkIndexes verifies the free-capacity indexes against a from-scratch
+// recomputation: membership must match in-service status and every key
+// must equal the freshly derived value bit-for-bit (the property that
+// makes indexed placement byte-identical to a linear scan).
+func (inv *Inventory) checkIndexes() error {
+	inService := 0
+	for _, hid := range inv.hosts {
+		h := inv.Host(hid)
+		key, ok := inv.hostIdx.Key(hid)
+		if h.InService() {
+			inService++
+			if !ok {
+				return fmt.Errorf("host %s in service but not indexed", h.Name)
+			}
+			if key != float64(h.FreeMemMB()) {
+				return fmt.Errorf("host %s index key %v != free %d", h.Name, key, h.FreeMemMB())
+			}
+		} else if ok {
+			return fmt.Errorf("host %s out of service but still indexed", h.Name)
+		}
+		if g, grouped := inv.hostGroup[hid]; grouped {
+			gkey, gok := inv.groupIdx[g].Key(hid)
+			if gok != h.InService() {
+				return fmt.Errorf("host %s group index membership %v != in-service %v", h.Name, gok, h.InService())
+			}
+			if gok && gkey != float64(h.FreeMemMB()) {
+				return fmt.Errorf("host %s group index key %v != free %d", h.Name, gkey, h.FreeMemMB())
+			}
+		}
+	}
+	if inv.hostIdx.Len() != inService {
+		return fmt.Errorf("host index holds %d entries, %d hosts in service", inv.hostIdx.Len(), inService)
+	}
+	for _, did := range inv.datastores {
+		d := inv.Datastore(did)
+		key, ok := inv.dsIdx.Key(did)
+		if !ok {
+			return fmt.Errorf("datastore %s not indexed", d.Name)
+		}
+		if want := d.FreeGB() - inv.reserved[did]; key != want {
+			return fmt.Errorf("datastore %s index key %v != effective free %v", d.Name, key, want)
+		}
+	}
+	if inv.dsIdx.Len() != len(inv.datastores) {
+		return fmt.Errorf("datastore index holds %d entries, %d datastores", inv.dsIdx.Len(), len(inv.datastores))
 	}
 	return nil
 }

@@ -77,7 +77,7 @@ func TestDeployReservesBeforeCopy(t *testing.T) {
 	// Two concurrent full deploys into a datastore with room for only one
 	// must fail one of them at reservation time, not overcommit.
 	f := newFixture(t, DefaultConfig())
-	f.ds[1].CapacityGB = f.ds[1].UsedGB + 25 // room for one 20 GB clone
+	f.inv.SetDatastoreCapacity(f.ds[1], f.ds[1].UsedGB+25) // room for one 20 GB clone
 	var tasks []*Task
 	for i := 0; i < 2; i++ {
 		f.env.Go("d", func(p *sim.Proc) {

@@ -121,7 +121,7 @@ func (m *Manager) SnapshotCreate(p *sim.Proc, vm *inventory.VM, ctx ReqCtx) *Tas
 			vm.Snapshots++
 			vm.ChainLen++
 			vm.DiskGB += gb
-			ds.UsedGB += gb
+			m.inv.AddDatastoreUsed(ds, gb)
 			return nil
 		},
 	})
@@ -150,7 +150,7 @@ func (m *Manager) SnapshotRemove(p *sim.Proc, vm *inventory.VM, ctx ReqCtx) *Tas
 			vm.Snapshots--
 			vm.ChainLen--
 			vm.DiskGB -= gb
-			m.inv.Datastore(vm.DatastoreID).UsedGB -= gb
+			m.inv.AddDatastoreUsed(m.inv.Datastore(vm.DatastoreID), -gb)
 			return nil
 		},
 	})
@@ -259,7 +259,7 @@ func (m *Manager) Consolidate(p *sim.Proc, vm *inventory.VM, ctx ReqCtx) *Task {
 			}
 			gb := float64(vm.Snapshots) * m.pool.Policy.SnapshotGB
 			vm.DiskGB -= gb
-			m.inv.Datastore(vm.DatastoreID).UsedGB -= gb
+			m.inv.AddDatastoreUsed(m.inv.Datastore(vm.DatastoreID), -gb)
 			vm.Snapshots = 0
 			vm.ChainLen = base
 			return nil
@@ -296,7 +296,7 @@ func (m *Manager) EnterMaintenance(p *sim.Proc, host *inventory.Host, ctx ReqCtx
 			if host.Maintenance {
 				return fmt.Errorf("mgmt: host %s already in maintenance", host.Name)
 			}
-			host.Maintenance = true
+			m.inv.SetHostMaintenance(host, true)
 			ids := make([]inventory.ID, len(host.VMs))
 			copy(ids, host.VMs)
 			for _, id := range ids {
@@ -306,7 +306,7 @@ func (m *Manager) EnterMaintenance(p *sim.Proc, host *inventory.Host, ctx ReqCtx
 				}
 				dst := m.evacuationTarget(vm)
 				if dst == nil {
-					host.Maintenance = false
+					m.inv.SetHostMaintenance(host, false)
 					return fmt.Errorf("mgmt: no host fits %s evacuating %s", vm.Name, host.Name)
 				}
 				if task := m.Migrate(p, vm, dst, ReqCtx{Org: ctx.Org}); task.Err != nil {
@@ -315,7 +315,7 @@ func (m *Manager) EnterMaintenance(p *sim.Proc, host *inventory.Host, ctx ReqCtx
 					if m.inv.VM(id) == nil || vm.State == inventory.VMDeleted {
 						continue
 					}
-					host.Maintenance = false
+					m.inv.SetHostMaintenance(host, false)
 					return fmt.Errorf("mgmt: evacuating %s: %w", host.Name, task.Err)
 				}
 			}
@@ -337,7 +337,7 @@ func (m *Manager) ExitMaintenance(p *sim.Proc, host *inventory.Host, ctx ReqCtx)
 			if !host.Maintenance {
 				return fmt.Errorf("mgmt: host %s not in maintenance", host.Name)
 			}
-			host.Maintenance = false
+			m.inv.SetHostMaintenance(host, false)
 			return nil
 		},
 	})

@@ -158,6 +158,68 @@ func TestCommitsDuringFlushFormNextGroup(t *testing.T) {
 	}
 }
 
+func TestGroupRowsBatchesRowWork(t *testing.T) {
+	// Under GroupRows, 8 commits inside one window produce a single
+	// connection acquisition writing all 16 rows back-to-back plus one
+	// flush: window + 16*WriteS + FlushS.
+	env := sim.NewEnv()
+	db, _ := New(env, Config{Conns: 1, WriteS: 0.01, FlushS: 0.05, GroupWindowS: 0.1, GroupRows: true})
+	for i := 0; i < 8; i++ {
+		i := i
+		env.Go("c", func(p *sim.Proc) {
+			p.Sleep(sim.Time(i) * 0.005)
+			db.Commit(p, 2)
+		})
+	}
+	end := env.Run(sim.Forever)
+	s := db.Stats()
+	if s.Commits != 8 || s.Rows != 16 || s.Flushes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if !almost(s.MeanGroupSize, 8, 1e-9) {
+		t.Fatalf("group size = %v", s.MeanGroupSize)
+	}
+	if !almost(float64(end), 0.1+16*0.01+0.05, 1e-9) {
+		t.Fatalf("end = %v, want 0.31 (one batched write + one flush)", end)
+	}
+}
+
+func TestGroupRowsSoloCommitMatchesShape(t *testing.T) {
+	// A lone GroupRows commit costs window + rows*WriteS + FlushS.
+	env := sim.NewEnv()
+	db, _ := New(env, Config{Conns: 2, WriteS: 0.01, FlushS: 0.05, GroupWindowS: 0.005, GroupRows: true})
+	var wait, service float64
+	env.Go("c", func(p *sim.Proc) { wait, service = db.Commit(p, 3) })
+	end := env.Run(sim.Forever)
+	want := 0.005 + 3*0.01 + 0.05
+	if !almost(float64(end), want, 1e-9) {
+		t.Fatalf("end = %v, want %v", end, want)
+	}
+	if wait != 0 || !almost(service, want, 1e-9) {
+		t.Fatalf("wait=%v service=%v", wait, service)
+	}
+}
+
+func TestGroupRowsOutperformsPerCommitRows(t *testing.T) {
+	run := func(groupRows bool) sim.Time {
+		env := sim.NewEnv()
+		db, _ := New(env, Config{Conns: 2, WriteS: 0.002, FlushS: 0.05, GroupWindowS: 0.02, GroupRows: groupRows})
+		for i := 0; i < 64; i++ {
+			env.Go("c", func(p *sim.Proc) {
+				for j := 0; j < 4; j++ {
+					db.Commit(p, 2)
+				}
+			})
+		}
+		return env.Run(sim.Forever)
+	}
+	perCommit := run(false)
+	batched := run(true)
+	if float64(batched) >= float64(perCommit) {
+		t.Fatalf("row batching did not help: %v vs %v", batched, perCommit)
+	}
+}
+
 func TestBadConfigRejected(t *testing.T) {
 	env := sim.NewEnv()
 	if _, err := New(env, Config{Conns: 0}); err == nil {

@@ -158,7 +158,12 @@ func New(env *sim.Env, inv *inventory.Inventory, pool *storage.Pool, model *ops.
 	// with it the director's cell-affine placement — stay on one shard.
 	hosts := inv.Hosts()
 	for i, id := range hosts {
-		pl.owner[id] = i * cfg.Shards / len(hosts)
+		shard := i * cfg.Shards / len(hosts)
+		pl.owner[id] = shard
+		// Mirror the partition into the inventory's placement groups so
+		// the director's shard-affine host placement is an indexed peek
+		// instead of a scan over every host.
+		inv.SetHostGroup(id, shard)
 	}
 	return pl, nil
 }

@@ -99,6 +99,39 @@ func (s SeedHasher) Int(n int64) SeedHasher {
 // Seed returns the derived sub-seed for the label accumulated so far.
 func (s SeedHasher) Seed() int64 { return int64(s.h) }
 
+// 32-bit FNV-1a parameters, for hash-partitioning keys (not seed
+// derivation): offset basis and prime from the FNV reference.
+const (
+	fnvOffset32 uint32 = 2166136261
+	fnvPrime32  uint32 = 16777619
+)
+
+// Hash32 is SeedHasher's 32-bit sibling: an incremental allocation-free
+// FNV-1a hash for partitioning string keys onto buckets (the director's
+// sticky-org datastore pinning). It is a value type so a partially
+// applied state can be cached per prefix, like SeedHasher.
+type Hash32 struct{ h uint32 }
+
+// NewHash32 starts a hash at the FNV-1a 32-bit offset basis.
+func NewHash32() Hash32 { return Hash32{h: fnvOffset32} }
+
+// Byte folds one byte into the hash.
+func (s Hash32) Byte(b byte) Hash32 {
+	s.h = (s.h ^ uint32(b)) * fnvPrime32
+	return s
+}
+
+// String folds a string into the hash.
+func (s Hash32) String(str string) Hash32 {
+	for i := 0; i < len(str); i++ {
+		s.h = (s.h ^ uint32(str[i])) * fnvPrime32
+	}
+	return s
+}
+
+// Sum returns the hash accumulated so far.
+func (s Hash32) Sum() uint32 { return s.h }
+
 // Reseeder is a reusable stream for components that derive a fresh
 // sub-stream per decision (the fault injector draws per (layer, task,
 // attempt)). Constructing a Stream allocates a generator of several

@@ -220,3 +220,38 @@ func TestUniformRange(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestHash32GoldenVectors pins the incremental 32-bit FNV-1a hasher to
+// the reference algorithm's published values. The sticky-org placement
+// policy maps organizations to datastores through this hash, so these
+// constants are part of the reproducibility contract.
+func TestHash32GoldenVectors(t *testing.T) {
+	golden := map[string]uint32{
+		"":     2166136261, // the FNV-1a offset basis
+		"a":    3826002220,
+		"abc":  440920331,
+		"org0": 740390219,
+		"org7": 824278314,
+		"orgA": 3676370376, // > 2^31: the case int() mishandled on 32-bit
+	}
+	for s, want := range golden {
+		if got := NewHash32().String(s).Sum(); got != want {
+			t.Errorf("Hash32(%q) = %d, want %d", s, got, want)
+		}
+	}
+	// Byte-at-a-time must agree with String, and the value-type hasher
+	// must support prefix caching: hashing "org" once and branching.
+	prefix := NewHash32().String("org")
+	for _, suffix := range []string{"0", "7", "A"} {
+		if got, want := prefix.String(suffix).Sum(), NewHash32().String("org"+suffix).Sum(); got != want {
+			t.Errorf("prefix-cached Hash32(org%s) = %d, want %d", suffix, got, want)
+		}
+	}
+	byByte := NewHash32()
+	for _, b := range []byte("abc") {
+		byByte = byByte.Byte(b)
+	}
+	if got := byByte.Sum(); got != 440920331 {
+		t.Errorf("byte-at-a-time Hash32(abc) = %d, want 440920331", got)
+	}
+}

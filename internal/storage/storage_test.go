@@ -282,8 +282,8 @@ func TestMostLeastFilledAndImbalance(t *testing.T) {
 	env := sim.NewEnv()
 	inv, d0, d1 := buildInv()
 	pool := NewPool(env, inv)
-	d0.UsedGB = 800
-	d1.UsedGB = 100
+	inv.SetDatastoreUsed(d0, 800)
+	inv.SetDatastoreUsed(d1, 100)
 	most, least := pool.MostAndLeastFilled()
 	if most != d0.ID || least != d1.ID {
 		t.Fatalf("most=%v least=%v", most, least)
