@@ -18,6 +18,7 @@ import (
 	"cloudmcp/internal/core"
 	"cloudmcp/internal/faults"
 	"cloudmcp/internal/plane"
+	"cloudmcp/internal/policy"
 	"cloudmcp/internal/reconcile"
 	"cloudmcp/internal/report"
 	"cloudmcp/internal/workload"
@@ -32,6 +33,7 @@ func main() {
 		hosts       = flag.Int("hosts", 32, "hypervisor hosts")
 		datastores  = flag.Int("datastores", 8, "shared datastores")
 		cells       = flag.Int("cells", 2, "director cells")
+		policyName  = flag.String("policy", "", "named policy set for placement/DRS/HA/retry/admission decisions (see internal/policy)")
 		configPath  = flag.String("config", "", "JSON scenario file (overrides the topology flags)")
 		dumpConfig  = flag.Bool("dump-config", false, "print the default scenario JSON and exit")
 		showMetrics = flag.Bool("metrics", false, "collect and print per-layer resource metrics")
@@ -109,6 +111,12 @@ func main() {
 		cfg.Director.FastProvisioning = *fast
 		cfg.Plane.Shards = *shards
 		cfg.Plane.DB = plane.DBMode(*planeDB)
+	}
+	if *policyName != "" {
+		if _, err := policy.Named(*policyName); err != nil {
+			fatal(err)
+		}
+		cfg.Policy = *policyName
 	}
 	if faultsOn {
 		fc := faults.Preset(*faultRate)

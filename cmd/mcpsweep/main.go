@@ -9,6 +9,12 @@
 //	mcpsweep -vary cells=1,2,4,8 -vary concurrency=16,64
 //	mcpsweep -config scenarios/paper-era.json -vary dbConns=1,2,4 -format csv
 //	mcpsweep -vary granularity=coarse,host,entity -horizon 1200
+//	mcpsweep -policy default,binpack,spread -vary hosts=16,64
+//
+// -policy a,b,c races whole policy sets (see internal/policy) as the
+// slowest-varying grid dimension and appends a tournament ranking table
+// ordered by mean normalized deploys/hour; rankings are byte-identical
+// for any -workers value.
 //
 // Grid order is row-major over the -vary flags in command-line order
 // (the first flag varies slowest). By default every point runs the same
@@ -25,6 +31,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -32,6 +39,7 @@ import (
 	"cloudmcp/internal/clouddir"
 	"cloudmcp/internal/core"
 	"cloudmcp/internal/mgmt"
+	"cloudmcp/internal/policy"
 	"cloudmcp/internal/report"
 	"cloudmcp/internal/sweep"
 )
@@ -115,6 +123,13 @@ var fields = []field{
 		}
 		return nil
 	}},
+	{"policy", func(cfg *core.Config, _ *runSpec, val string) error {
+		if _, err := policy.Named(val); err != nil {
+			return err
+		}
+		cfg.Policy = val
+		return nil
+	}},
 }
 
 func fieldByName(name string) (field, bool) {
@@ -187,6 +202,8 @@ type row struct {
 func main() {
 	var vary varyFlag
 	flag.Var(&vary, "vary", "field=v1,v2,... grid dimension (repeatable); fields: "+fieldNames())
+	policyList := flag.String("policy", "",
+		"comma-separated policy sets to race as a tournament (known: "+strings.Join(policy.Names(), ", ")+")")
 	configPath := flag.String("config", "", "JSON scenario file for the base configuration")
 	seed := flag.Int64("seed", 1, "master random seed (overrides the scenario's)")
 	concurrency := flag.Int("concurrency", 32, "closed-loop deploy clients (unless varied)")
@@ -198,6 +215,25 @@ func main() {
 	progress := flag.Bool("progress", false, "print per-point completion to stderr")
 	flag.Parse()
 
+	// -policy a,b,c is sugar for a slowest-varying policy dimension plus
+	// a ranking table over the rest of the grid.
+	var tournament []string
+	if *policyList != "" {
+		for _, prev := range vary.specs {
+			if prev.field.name == "policy" {
+				fatal(fmt.Errorf("use either -policy or -vary policy=..., not both"))
+			}
+		}
+		f, _ := fieldByName("policy")
+		tournament = strings.Split(*policyList, ",")
+		for _, val := range tournament {
+			scratch, rs := core.DefaultConfig(1), runSpec{clients: 1}
+			if err := f.apply(&scratch, &rs, val); err != nil {
+				fatal(err)
+			}
+		}
+		vary.specs = append([]varySpec{{field: f, values: tournament}}, vary.specs...)
+	}
 	if len(vary.specs) == 0 {
 		fatal(fmt.Errorf("nothing to sweep: pass at least one -vary field=v1,v2,... (fields: %s)", fieldNames()))
 	}
@@ -282,6 +318,14 @@ func main() {
 	// exit non-zero, not silently truncate the grid.
 	out := bufio.NewWriter(os.Stdout)
 	err = renderRows(out, *format, title, headers, rows)
+	if err == nil && len(tournament) > 0 && *format == "ascii" {
+		rt := report.PolicyTable(
+			"policy tournament: ranking by mean normalized deploys/h", rankPolicies(tournament, rows))
+		if rt != nil {
+			fmt.Fprintln(out)
+			err = rt.Render(out)
+		}
+	}
 	if ferr := out.Flush(); err == nil && ferr != nil {
 		err = fmt.Errorf("write stdout: %w", ferr)
 	}
@@ -291,6 +335,57 @@ func main() {
 	if *progress {
 		fmt.Fprintf(os.Stderr, "mcpsweep: %d points in %.1fs\n", total, time.Since(start).Seconds())
 	}
+}
+
+// rankPolicies aggregates tournament rows into the ranking table:
+// goodput is normalized against the best policy at each rest-of-grid
+// point (so big and small configurations weigh equally), then averaged.
+// Rows arrive in submission order from sweep.Run and the sort key is a
+// total order, so the ranking is identical for any -workers value.
+// The policy dimension is specs[0], so values[1:] identifies the group.
+func rankPolicies(policies []string, rows []row) []report.PolicyRow {
+	groupMax := make(map[string]float64)
+	groupOf := func(r row) string { return strings.Join(r.values[1:], "\x00") }
+	for _, r := range rows {
+		if k := groupOf(r); r.res.DeploysPerHour > groupMax[k] {
+			groupMax[k] = r.res.DeploysPerHour
+		}
+	}
+	out := make([]report.PolicyRow, 0, len(policies))
+	for _, pol := range policies {
+		pr := report.PolicyRow{Policy: pol}
+		var n int
+		for _, r := range rows {
+			if r.values[0] != pol {
+				continue
+			}
+			n++
+			if m := groupMax[groupOf(r)]; m > 0 {
+				pr.Score += r.res.DeploysPerHour / m
+			}
+			pr.GoodPerHour += r.res.DeploysPerHour
+			pr.P99S += r.res.P99LatencyS
+			pr.Moves += float64(r.res.DRSMoves + r.res.RebalanceMoves)
+			pr.Errors += int64(r.res.Errors)
+		}
+		if n > 0 {
+			pr.Score /= float64(n)
+			pr.GoodPerHour /= float64(n)
+			pr.P99S /= float64(n)
+			pr.Moves /= float64(n)
+		}
+		out = append(out, pr)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Policy < out[j].Policy
+	})
+	for i := range out {
+		out[i].Rank = i + 1
+	}
+	return out
 }
 
 // renderRows writes the result grid to w as csv or an ascii table,

@@ -20,6 +20,7 @@ import (
 	"cloudmcp/internal/metrics"
 	"cloudmcp/internal/mgmt"
 	"cloudmcp/internal/ops"
+	"cloudmcp/internal/policy"
 	"cloudmcp/internal/rng"
 	"cloudmcp/internal/sim"
 )
@@ -70,6 +71,11 @@ type Config struct {
 	LeaseS float64
 	// Placement selects the datastore-placement policy.
 	Placement PlacementPolicy
+	// Place scores hosts and datastores; nil means the default
+	// most-free policy (identical to the historical indexed calls).
+	// Sticky-org pinning (Placement above) composes with it: the pin
+	// is tried first, Place answers the general search.
+	Place policy.PlacementPolicy
 	// OrgQuotaVMs caps each tenant's live VMs (0 = unlimited). Quota is
 	// enforced at vApp admission, counting in-flight deploys.
 	OrgQuotaVMs int
@@ -173,6 +179,9 @@ func New(env *sim.Env, mgr mgmt.API, model *ops.CostModel, stream *rng.Stream, c
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Place == nil {
+		cfg.Place = policy.DefaultPlacement()
+	}
 	d := &Director{
 		env: env, mgr: mgr, model: model, stream: stream, cfg: cfg,
 		chains:    make(map[chainKey]*chainState),
@@ -259,13 +268,13 @@ func (d *Director) placeHost(memMB, prefShard int) *inventory.Host {
 	inv := d.mgr.Inventory()
 	if d.mgr.ShardCount() > 1 {
 		// The plane partitions hosts into inventory placement groups, so
-		// the preferred shard's freest host is one heap peek; the global
-		// index answers the fallback.
-		if h := inv.BestHostInGroup(prefShard, memMB); h != nil {
+		// the preferred shard's best host is one group query; the global
+		// query answers the fallback.
+		if h := d.cfg.Place.BestHost(inv, memMB, prefShard); h != nil {
 			return h
 		}
 	}
-	return inv.BestHost(memMB)
+	return d.cfg.Place.BestHost(inv, memMB, -1)
 }
 
 // placeHostLinear is the retained O(hosts) reference implementation of
@@ -305,9 +314,9 @@ func (d *Director) placeDatastore(needGB float64, org string) *inventory.Datasto
 			}
 			d.stickyOverflows++
 		}
-		// Pinned datastore is full: fall through to most-free.
+		// Pinned datastore is full: fall through to general placement.
 	}
-	return inv.BestDatastore(needGB)
+	return d.cfg.Place.BestDatastore(inv, needGB)
 }
 
 // stickyDatastore returns org's pinned datastore — FNV-1a of the org name

@@ -19,6 +19,7 @@ import (
 	"cloudmcp/internal/netsim"
 	"cloudmcp/internal/ops"
 	"cloudmcp/internal/plane"
+	"cloudmcp/internal/policy"
 	"cloudmcp/internal/reconcile"
 )
 
@@ -26,6 +27,11 @@ import (
 // the defaults of DefaultConfig(seed).
 type ConfigFile struct {
 	Seed int64 `json:"seed,omitempty"`
+
+	// Policy names a policy set (internal/policy) for the decision
+	// points: placement, DRS move choice, HA failover, retry, admission.
+	// Empty keeps "default", which reproduces the hardcoded behavior.
+	Policy string `json:"policy,omitempty"`
 
 	Topology *TopologyFile `json:"topology,omitempty"`
 	Mgmt     *MgmtFile     `json:"mgmt,omitempty"`
@@ -184,6 +190,12 @@ func LoadConfig(r io.Reader) (Config, error) {
 // Apply converts the wire form to a runnable Config over the defaults.
 func (f *ConfigFile) Apply() (Config, error) {
 	cfg := DefaultConfig(f.Seed)
+	if f.Policy != "" {
+		if _, err := policy.Named(f.Policy); err != nil {
+			return Config{}, err
+		}
+		cfg.Policy = f.Policy
+	}
 	if t := f.Topology; t != nil {
 		setInt := func(dst *int, v int) {
 			if v != 0 {

@@ -87,9 +87,25 @@ func TestLoadConfigOverrides(t *testing.T) {
 	}
 }
 
+func TestLoadConfigPolicy(t *testing.T) {
+	cfg, err := LoadConfig(strings.NewReader(`{"seed": 2, "policy": "binpack"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Policy != "binpack" {
+		t.Fatalf("policy = %q", cfg.Policy)
+	}
+	if _, err := New(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestLoadConfigRejectsUnknownFields(t *testing.T) {
 	if _, err := LoadConfig(strings.NewReader(`{"sead": 1}`)); err == nil {
 		t.Fatal("typo accepted")
+	}
+	if _, err := LoadConfig(strings.NewReader(`{"policy": "zzz"}`)); err == nil {
+		t.Fatal("bad policy accepted")
 	}
 	if _, err := LoadConfig(strings.NewReader(`{"mgmt": {"granularity": "weird"}}`)); err == nil {
 		t.Fatal("bad granularity accepted")

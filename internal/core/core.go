@@ -27,6 +27,7 @@ import (
 	"cloudmcp/internal/mgmt"
 	"cloudmcp/internal/ops"
 	"cloudmcp/internal/plane"
+	"cloudmcp/internal/policy"
 	"cloudmcp/internal/reconcile"
 	"cloudmcp/internal/report"
 	"cloudmcp/internal/rng"
@@ -124,6 +125,15 @@ type Config struct {
 	// uses. Nil — or a config naming no controllers — reproduces
 	// pre-reconcile behaviour bit-for-bit.
 	Reconcile *reconcile.Config
+
+	// Policy names the policy set (see internal/policy) governing the
+	// plane's decision points: placement scoring, DRS move selection,
+	// HA failover targeting, retry shaping, and admission limits.
+	// "" or "default" reproduce the historical hardcoded decisions
+	// bit-for-bit. Explicit per-engine settings (Director.Place,
+	// DRS.Move, Mgmt.Retry, Mgmt.MaxInFlight) take precedence over the
+	// named set's corresponding axis.
+	Policy string
 }
 
 // DefaultConfig returns a fully-populated configuration for the given
@@ -144,6 +154,7 @@ func DefaultConfig(seed int64) Config {
 // Cloud is one assembled simulated installation.
 type Cloud struct {
 	cfg Config
+	pol policy.Set
 
 	env      *sim.Env
 	inv      *inventory.Inventory
@@ -159,6 +170,19 @@ type Cloud struct {
 func New(cfg Config) (*Cloud, error) {
 	if err := cfg.Topology.Validate(); err != nil {
 		return nil, err
+	}
+	pol, err := policy.Named(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	// The named set fills any axis the caller left at its zero value;
+	// explicit per-engine settings win. The default set is the identity
+	// on every axis.
+	if cfg.Director.Place == nil {
+		cfg.Director.Place = pol.Place
+	}
+	if cfg.DRS.Move == nil {
+		cfg.DRS.Move = pol.Move
 	}
 	model := cfg.Model
 	if model == nil {
@@ -195,7 +219,9 @@ func New(cfg Config) (*Cloud, error) {
 		}
 		mcfg.Faults = inj
 		if mcfg.Retry == (mgmt.RetryPolicy{}) {
-			mcfg.Retry = mgmt.DefaultRetryPolicy()
+			// The policy set's retry spec; the default set's "fixed"
+			// spec is mgmt.DefaultRetryPolicy() field-for-field.
+			mcfg.Retry = retryFromSpec(pol.Retry)
 		}
 	}
 	if cfg.Plane == (plane.Config{}) {
@@ -203,6 +229,9 @@ func New(cfg Config) (*Cloud, error) {
 		// the single-shard identity topology.
 		cfg.Plane = plane.DefaultConfig()
 	}
+	// Admission sizes the in-flight limit from the configured base and
+	// the deployment shape; the default "fixed" policy returns the base.
+	mcfg.MaxInFlight = pol.Admission.MaxInFlight(mcfg.MaxInFlight, cfg.Topology.Hosts, cfg.Plane.Shards)
 	pl, err := plane.New(env, inv, pool, model, cfg.Seed, mcfg, cfg.Plane)
 	if err != nil {
 		return nil, err
@@ -215,7 +244,7 @@ func New(cfg Config) (*Cloud, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cloud{cfg: cfg, env: env, inv: inv, pool: pool, plane: pl, dir: dir, balancer: balancer}
+	c := &Cloud{cfg: cfg, pol: pol, env: env, inv: inv, pool: pool, plane: pl, dir: dir, balancer: balancer}
 	if cfg.Record {
 		c.recorder = trace.NewRecorder()
 		pl.AddTaskSink(c.recorder.Sink)
@@ -234,6 +263,25 @@ func New(cfg Config) (*Cloud, error) {
 	}
 	return c, nil
 }
+
+// retryFromSpec translates a policy retry spec into mgmt's policy
+// struct (policy cannot import mgmt without a cycle). The default
+// "fixed" spec maps onto mgmt.DefaultRetryPolicy() exactly.
+func retryFromSpec(s policy.RetrySpec) mgmt.RetryPolicy {
+	return mgmt.RetryPolicy{
+		MaxAttempts:         s.MaxAttempts,
+		BaseBackoff:         s.BaseBackoffS,
+		Multiplier:          s.Multiplier,
+		DeterministicJitter: s.Jitter,
+		Deadline:            s.DeadlineS,
+		Adaptive:            s.Adaptive,
+	}
+}
+
+// Policy returns the resolved policy set the cloud was assembled with,
+// so harnesses can hand the same set's axes to engines core does not
+// own (the HA engine's failover policy, for example).
+func (c *Cloud) Policy() policy.Set { return c.pol }
 
 // DRS returns the compute load balancer (idle unless configured).
 func (c *Cloud) DRS() *drs.Balancer { return c.balancer }

@@ -465,6 +465,11 @@ type ClosedLoopResult struct {
 	// instance's on a shared-DB plane, the mean across instances on a
 	// per-shard plane.
 	DBUtil float64
+	// DRSMoves and RebalanceMoves count the migrations the balancer and
+	// the storage rebalancer issued over the whole run — the churn a
+	// policy choice induces, scored by the E21 tournament.
+	DRSMoves       int64
+	RebalanceMoves int64
 	// Plane reports the run's management-plane topology and cross-shard
 	// coordination counters (Shards == 1, zero counters on the default
 	// single-shard plane).
@@ -525,6 +530,8 @@ func runClosedLoopOn(c *Cloud, clients int, horizonS, warmupS float64) ClosedLoo
 		Errors:         len(all) - len(deploys),
 		Metrics:        c.MetricsSnapshot(),
 		DBUtil:         c.DBUtilization(),
+		DRSMoves:       c.DRS().Stats().Moves,
+		RebalanceMoves: c.Director().Stats().RebalanceMoves,
 		Plane:          c.Plane().Stats(),
 	}
 	if cfg.Faults != nil {

@@ -82,11 +82,12 @@ func Experiments() []Experiment {
 
 // Extensions returns opt-in experiments that are not part of the
 // default suite. E17 enables fault injection, E18 reshapes the
-// management-plane topology, E19 scales the inventory itself, and E20
-// turns on the reconciliation plane, so folding any of them into RunAll
-// would grow the default artifact; they run via RunExperiment (mcpbench
-// -only E17/E18/E19/E20), mcpbench -faults, mcpbench -shards, mcpbench
-// -scale, or mcpbench -reconcile instead.
+// management-plane topology, E19 scales the inventory itself, E20
+// turns on the reconciliation plane, and E21 races policy sets, so
+// folding any of them into RunAll would grow the default artifact;
+// they run via RunExperiment (mcpbench -only E17/E18/E19/E20/E21),
+// mcpbench -faults, mcpbench -shards, mcpbench -scale, or mcpbench
+// -reconcile instead.
 func Extensions() []Experiment {
 	return []Experiment{
 		{"E17", func(seed int64, scale float64, workers int) (Renderable, error) {
@@ -105,6 +106,9 @@ func Extensions() []Experiment {
 		}},
 		{"E20", func(seed int64, scale float64, workers int) (Renderable, error) {
 			return RunE20(E20Params{Seed: seed, HorizonS: 1800 * scale, Workers: workers})
+		}},
+		{"E21", func(seed int64, scale float64, workers int) (Renderable, error) {
+			return RunE21(E21Params{Seed: seed, HorizonS: 1800 * scale, Workers: workers})
 		}},
 	}
 }
@@ -125,7 +129,7 @@ func RunExperiment(name string, seed int64, quick bool, workers int) (Renderable
 			return r, nil
 		}
 	}
-	return nil, fmt.Errorf("unknown experiment %q (want E1..E20)", name)
+	return nil, fmt.Errorf("unknown experiment %q (want E1..E21)", name)
 }
 
 // RunAllOptions tunes the parallel suite run.

@@ -12,6 +12,7 @@ import (
 
 	"cloudmcp/internal/inventory"
 	"cloudmcp/internal/mgmt"
+	"cloudmcp/internal/policy"
 	"cloudmcp/internal/reconcile"
 	"cloudmcp/internal/sim"
 )
@@ -25,6 +26,9 @@ type Config struct {
 	CheckS float64
 	// Batch caps migrations per pass.
 	Batch int
+	// Move picks which VM a pass migrates; nil means the default
+	// biggest-fit policy (identical to the historical hardcoded scan).
+	Move policy.MovePolicy
 }
 
 // DefaultConfig checks every 5 minutes and acts on a 25% spread.
@@ -73,6 +77,9 @@ type Balancer struct {
 func New(env *sim.Env, mgr API, cfg Config) (*Balancer, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Move == nil {
+		cfg.Move = policy.DefaultMove()
 	}
 	return &Balancer{env: env, mgr: mgr, cfg: cfg}, nil
 }
@@ -154,7 +161,7 @@ func (b *Balancer) BalanceOnce(p *sim.Proc) {
 		if !ok || memUtil(hi)-memUtil(lo) <= b.cfg.Threshold/2 {
 			break
 		}
-		vm := b.pickMovable(hi, lo)
+		vm := b.cfg.Move.Pick(b.mgr.Inventory(), hi, lo)
 		if vm == nil {
 			break
 		}
@@ -173,10 +180,12 @@ func (b *Balancer) BalanceOnce(p *sim.Proc) {
 	}
 }
 
-// pickMovable chooses the largest-memory live VM on hi that fits lo
-// without overshooting the balance (moving it must not make lo hotter
-// than hi was).
-func (b *Balancer) pickMovable(hi, lo *inventory.Host) *inventory.VM {
+// pickMovableReference is the hardcoded biggest-fit scan the default
+// move policy extracted, retained for the equivalence test that pins
+// policy.DefaultMove bit-for-bit: the largest-memory live VM on hi
+// that fits lo without overshooting the balance (moving it must not
+// make lo hotter than hi was).
+func (b *Balancer) pickMovableReference(hi, lo *inventory.Host) *inventory.VM {
 	inv := b.mgr.Inventory()
 	var best *inventory.VM
 	for _, id := range hi.VMs {
@@ -187,7 +196,7 @@ func (b *Balancer) pickMovable(hi, lo *inventory.Host) *inventory.VM {
 		if lo.FreeMemMB() < vm.MemMB {
 			continue
 		}
-		if vm.State == inventory.VMPoweredOn && lo.FreeCPUMHz() < vm.CPUs*500 {
+		if vm.State == inventory.VMPoweredOn && lo.FreeCPUMHz() < inventory.CPUReservationMHz(vm.CPUs) {
 			continue
 		}
 		// Don't create a new hotspot.

@@ -12,6 +12,7 @@ import (
 
 	"cloudmcp/internal/inventory"
 	"cloudmcp/internal/mgmt"
+	"cloudmcp/internal/policy"
 	"cloudmcp/internal/reconcile"
 	"cloudmcp/internal/sim"
 )
@@ -21,6 +22,9 @@ type Config struct {
 	// MaxConcurrentRestarts throttles the restart storm, as real HA
 	// engines do to avoid overwhelming the surviving hosts.
 	MaxConcurrentRestarts int
+	// Failover picks the restart target; nil means the default
+	// most-free policy (identical to the historical hardcoded scan).
+	Failover policy.FailoverPolicy
 }
 
 // DefaultConfig allows 32 concurrent restarts.
@@ -54,6 +58,9 @@ type Engine struct {
 func New(env *sim.Env, mgr *mgmt.Manager, cfg Config) (*Engine, error) {
 	if cfg.MaxConcurrentRestarts <= 0 {
 		return nil, fmt.Errorf("ha: restart concurrency %d", cfg.MaxConcurrentRestarts)
+	}
+	if cfg.Failover == nil {
+		cfg.Failover = policy.DefaultFailover()
 	}
 	return &Engine{
 		env: env, mgr: mgr, cfg: cfg,
@@ -141,9 +148,17 @@ func (e *Engine) RecoverHost(host *inventory.Host) error {
 	return nil
 }
 
-// pickTarget chooses the surviving in-service host with the most free
-// memory that fits vm (and its CPU reservation once powered on).
+// pickTarget chooses the restart host via the configured failover
+// policy. The default (most-free) policy answers from the capacity
+// index in O(log hosts) — under the E19 million-VM ladder, a failover
+// storm over the old O(hosts) scan went quadratic.
 func (e *Engine) pickTarget(vm *inventory.VM) *inventory.Host {
+	return e.cfg.Failover.PickTarget(e.mgr.Inventory(), vm)
+}
+
+// pickTargetLinear is the pre-index reference scan, retained for the
+// equivalence test that pins the default policy bit-for-bit.
+func (e *Engine) pickTargetLinear(vm *inventory.VM) *inventory.Host {
 	inv := e.mgr.Inventory()
 	var best *inventory.Host
 	for _, id := range inv.Hosts() {
@@ -151,7 +166,7 @@ func (e *Engine) pickTarget(vm *inventory.VM) *inventory.Host {
 			continue
 		}
 		h := inv.Host(id)
-		if !h.InService() || h.FreeMemMB() < vm.MemMB || h.FreeCPUMHz() < vm.CPUs*500 {
+		if !h.InService() || h.FreeMemMB() < vm.MemMB || h.FreeCPUMHz() < inventory.CPUReservationMHz(vm.CPUs) {
 			continue
 		}
 		if best == nil || h.FreeMemMB() > best.FreeMemMB() {

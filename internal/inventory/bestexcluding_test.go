@@ -1,0 +1,115 @@
+package inventory
+
+import "testing"
+
+// referenceBestHostExcluding is the O(hosts) scan BestHostExcluding
+// replaces: skip one host, require in-service with enough free memory
+// (and free CPU when cpuMHz > 0), most free memory wins, first host in
+// creation order wins ties (strict >) — the exact shape of the old
+// ha.pickTarget / workload pickMigrationTarget / pickOtherHost loops.
+func referenceBestHostExcluding(inv *Inventory, exclude ID, memMB, cpuMHz int) *Host {
+	var best *Host
+	for _, id := range inv.Hosts() {
+		if id == exclude {
+			continue
+		}
+		h := inv.Host(id)
+		if !h.InService() || h.FreeMemMB() < memMB {
+			continue
+		}
+		if cpuMHz > 0 && h.FreeCPUMHz() < cpuMHz {
+			continue
+		}
+		if best == nil || h.FreeMemMB() > best.FreeMemMB() {
+			best = h
+		}
+	}
+	return best
+}
+
+func TestCPUReservationMHz(t *testing.T) {
+	// The shared constant every picker must agree on: 500 MHz per vCPU.
+	for cpus := 0; cpus <= 8; cpus++ {
+		if got := CPUReservationMHz(cpus); got != cpus*500 {
+			t.Fatalf("CPUReservationMHz(%d) = %d, want %d", cpus, got, cpus*500)
+		}
+	}
+}
+
+func TestBestHostExcludingMatchesReferenceScan(t *testing.T) {
+	inv := New()
+	dc := inv.AddDatacenter("dc")
+	cl := inv.AddCluster(dc, "cl")
+	var hosts []*Host
+	for i := 0; i < 8; i++ {
+		hosts = append(hosts, inv.AddHost(cl, "h", 8000, 65536))
+	}
+	var dss []*Datastore
+	for i := 0; i < 2; i++ {
+		dss = append(dss, inv.AddDatastore(dc, "d", 4000, 100))
+	}
+	// Deterministic churn: powered-on VMs consume CPU reservation too,
+	// so the CPU filter is exercised against hosts near both limits.
+	var vms []*VM
+	state := uint64(0x51ed2701)
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	for step := 0; step < 3000; step++ {
+		switch next(7) {
+		case 0, 1:
+			h, d := hosts[next(len(hosts))], dss[next(len(dss))]
+			if vm, err := inv.AddVM("vm", h, d, 1+next(4), 1024*(1+next(4)), 1); err == nil {
+				vms = append(vms, vm)
+			}
+		case 2:
+			if len(vms) > 0 {
+				vm := vms[next(len(vms))]
+				if vm.State == VMPoweredOff {
+					_ = inv.PowerOn(vm)
+				}
+			}
+		case 3:
+			if len(vms) > 0 {
+				vm := vms[next(len(vms))]
+				if vm.State == VMPoweredOn {
+					_ = inv.PowerOff(vm)
+				}
+			}
+		case 4:
+			if len(vms) > 0 {
+				i := next(len(vms))
+				if inv.RemoveVM(vms[i]) == nil {
+					vms = append(vms[:i], vms[i+1:]...)
+				}
+			}
+		case 5:
+			h := hosts[next(len(hosts))]
+			inv.SetHostMaintenance(h, !h.Maintenance)
+		case 6:
+			h := hosts[next(len(hosts))]
+			inv.SetHostFailed(h, !h.Failed)
+		}
+		exclude := hosts[next(len(hosts))].ID
+		memMB := 1024 * (1 + next(8))
+		cpuMHz := 0
+		if next(2) == 0 {
+			cpuMHz = CPUReservationMHz(1 + next(4))
+		}
+		got := inv.BestHostExcluding(exclude, memMB, cpuMHz)
+		want := referenceBestHostExcluding(inv, exclude, memMB, cpuMHz)
+		if got != want {
+			t.Fatalf("step %d: BestHostExcluding(%v, %d, %d) = %v, scan = %v",
+				step, exclude, memMB, cpuMHz, got, want)
+		}
+		if step%250 == 0 {
+			if err := inv.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := inv.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

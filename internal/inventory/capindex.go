@@ -82,6 +82,48 @@ func (h *capHeap) Remove(id ID) {
 	}
 }
 
+// bestWhere returns the highest-ranked entry in capLess order whose key
+// is at least minKey and that satisfies keep, walking the heap best-first
+// without mutating it. The walk maintains a frontier of subtree roots;
+// the best frontier entry is the best entry not yet visited (every other
+// remaining entry sits below some frontier root and cannot outrank it),
+// so entries are visited in exactly (key desc, ID asc) order — the order
+// a "most free, first wins" linear scan ranks candidates — and the first
+// accepted entry is the scan's winner. Once the frontier's best key drops
+// below minKey no remaining entry fits and the walk stops.
+func (h *capHeap) bestWhere(minKey float64, keep func(ID) bool) (ID, bool) {
+	if len(h.items) == 0 {
+		return None, false
+	}
+	var stack [8]int
+	frontier := append(stack[:0], 0)
+	for len(frontier) > 0 {
+		bi := 0
+		for i := 1; i < len(frontier); i++ {
+			if capLess(h.items[frontier[i]], h.items[frontier[bi]]) {
+				bi = i
+			}
+		}
+		idx := frontier[bi]
+		e := h.items[idx]
+		if e.key < minKey {
+			return None, false
+		}
+		if keep(e.id) {
+			return e.id, true
+		}
+		frontier[bi] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		if l := 2*idx + 1; l < len(h.items) {
+			frontier = append(frontier, l)
+		}
+		if r := 2*idx + 2; r < len(h.items) {
+			frontier = append(frontier, r)
+		}
+	}
+	return None, false
+}
+
 func (h *capHeap) swap(i, j int) {
 	h.items[i], h.items[j] = h.items[j], h.items[i]
 	h.pos[h.items[i].id] = i

@@ -437,8 +437,8 @@ func (inv *Inventory) MoveVM(vm *VM, newHost *Host, newDS *Datastore) error {
 		old.VMs = removeID(old.VMs, vm.ID)
 		old.UsedMemMB -= vm.MemMB
 		if vm.State == VMPoweredOn {
-			old.UsedCPUMHz -= vm.CPUs * cpuMHzPerVCPU
-			newHost.UsedCPUMHz += vm.CPUs * cpuMHzPerVCPU
+			old.UsedCPUMHz -= CPUReservationMHz(vm.CPUs)
+			newHost.UsedCPUMHz += CPUReservationMHz(vm.CPUs)
 		}
 		newHost.VMs = append(newHost.VMs, vm.ID)
 		newHost.UsedMemMB += vm.MemMB
@@ -466,6 +466,14 @@ func (inv *Inventory) MoveVM(vm *VM, newHost *Host, newDS *Datastore) error {
 // cpuMHzPerVCPU is the CPU reservation charged per vCPU while powered on.
 const cpuMHzPerVCPU = 500
 
+// CPUReservationMHz is the CPU reservation a VM with cpus vCPUs holds
+// while powered on. Every admission check in the inventory (PowerOn,
+// Resume, MoveVM) charges this amount, so every picker that asks "will
+// this VM fit that host once running" — DRS, HA failover, workload
+// migrations — must use the same helper; the literal used to be
+// duplicated across those packages, a silent divergence hazard.
+func CPUReservationMHz(cpus int) int { return cpus * cpuMHzPerVCPU }
+
 // PowerOn transitions vm to VMPoweredOn, charging CPU on its host.
 // Suspended VMs must Resume instead, so their checkpoint is reclaimed.
 func (inv *Inventory) PowerOn(vm *VM) error {
@@ -473,7 +481,7 @@ func (inv *Inventory) PowerOn(vm *VM) error {
 		return fmt.Errorf("inventory: power on %s in state %s", vm.Name, vm.State)
 	}
 	h := inv.Host(vm.HostID)
-	need := vm.CPUs * cpuMHzPerVCPU
+	need := CPUReservationMHz(vm.CPUs)
 	if h.FreeCPUMHz() < need {
 		return fmt.Errorf("inventory: host %s out of CPU for %s", h.Name, vm.Name)
 	}
@@ -489,7 +497,7 @@ func (inv *Inventory) PowerOff(vm *VM) error {
 		return fmt.Errorf("inventory: power off %s in state %s", vm.Name, vm.State)
 	}
 	if vm.State == VMPoweredOn {
-		inv.Host(vm.HostID).UsedCPUMHz -= vm.CPUs * cpuMHzPerVCPU
+		inv.Host(vm.HostID).UsedCPUMHz -= CPUReservationMHz(vm.CPUs)
 	}
 	inv.reclaimSuspendFile(vm)
 	vm.State = VMPoweredOff
@@ -509,7 +517,7 @@ func (inv *Inventory) Suspend(vm *VM, suspendGB float64) error {
 	if ds.FreeGB() < suspendGB {
 		return fmt.Errorf("inventory: datastore %s out of space for suspend of %s", ds.Name, vm.Name)
 	}
-	inv.Host(vm.HostID).UsedCPUMHz -= vm.CPUs * cpuMHzPerVCPU
+	inv.Host(vm.HostID).UsedCPUMHz -= CPUReservationMHz(vm.CPUs)
 	vm.SuspendGB = suspendGB
 	vm.DiskGB += suspendGB
 	ds.UsedGB += suspendGB
@@ -525,7 +533,7 @@ func (inv *Inventory) Resume(vm *VM) error {
 		return fmt.Errorf("inventory: resume %s in state %s", vm.Name, vm.State)
 	}
 	h := inv.Host(vm.HostID)
-	need := vm.CPUs * cpuMHzPerVCPU
+	need := CPUReservationMHz(vm.CPUs)
 	if h.FreeCPUMHz() < need {
 		return fmt.Errorf("inventory: host %s out of CPU to resume %s", h.Name, vm.Name)
 	}
@@ -713,6 +721,35 @@ func (inv *Inventory) BestHost(memMB int) *Host {
 	return inv.Host(id)
 }
 
+// BestHostExcluding returns the in-service host with the most free
+// memory (lowest ID on ties) that fits memMB — and, when cpuMHz > 0, has
+// at least that much free CPU — skipping the host with ID exclude. It is
+// the indexed equivalent of the linear "most free, first wins" scan the
+// HA failover and workload-migration pickers ran: the heap walk visits
+// hosts in exactly the scan's ranking order and stops at the first one
+// passing the filters, so the winner (ties included) is identical while
+// the cost stays near O(log hosts) instead of O(hosts) per pick.
+func (inv *Inventory) BestHostExcluding(exclude ID, memMB, cpuMHz int) *Host {
+	id, ok := inv.hostIdx.bestWhere(float64(memMB), func(id ID) bool {
+		if id == exclude {
+			return false
+		}
+		return cpuMHz <= 0 || inv.Host(id).FreeCPUMHz() >= cpuMHz
+	})
+	if !ok {
+		return nil
+	}
+	return inv.Host(id)
+}
+
+// HostGroup returns the placement group id was assigned via SetHostGroup
+// and whether it was ever grouped. Policy implementations that scan
+// hosts linearly use it to honor the sharded plane's host partition.
+func (inv *Inventory) HostGroup(id ID) (int, bool) {
+	g, ok := inv.hostGroup[id]
+	return g, ok
+}
+
 // BestHostInGroup is BestHost restricted to one placement group (the
 // sharded plane's host partition). It returns nil when the group is
 // empty, has no fitting host, or no groups were ever assigned.
@@ -838,7 +875,7 @@ func (inv *Inventory) CheckInvariants() error {
 			}
 			mem += vm.MemMB
 			if vm.State == VMPoweredOn {
-				cpu += vm.CPUs * cpuMHzPerVCPU
+				cpu += CPUReservationMHz(vm.CPUs)
 			}
 		}
 		if mem != h.UsedMemMB {

@@ -137,6 +137,13 @@ type RetryPolicy struct {
 	// Deadline bounds a task's total latency in seconds: a retry whose
 	// backoff would exceed it gives up instead. 0 = no deadline.
 	Deadline float64
+	// Adaptive stretches backoff by the manager's observed fault ratio
+	// (faults/attempts so far, tripled): the sicker the plane, the
+	// longer retries wait, shedding retry amplification under sustained
+	// fault storms. The scaling reads only the manager's own
+	// deterministic counters, so runs stay reproducible. false (the
+	// default) leaves backoff exactly as before the knob existed.
+	Adaptive bool
 }
 
 // DefaultRetryPolicy mirrors a production task manager: up to 4
@@ -576,6 +583,9 @@ func (m *Manager) backoff(taskID int64, attempt int) float64 {
 	}
 	for i := 1; i < attempt; i++ {
 		b *= mult
+	}
+	if m.cfg.Retry.Adaptive && m.retry.Attempts > 0 {
+		b *= 1 + 3*float64(m.retry.Faults)/float64(m.retry.Attempts)
 	}
 	if j := m.cfg.Retry.DeterministicJitter; j > 0 {
 		b *= 1 + j*m.cfg.Faults.JitterU(taskID, attempt)

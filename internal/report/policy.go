@@ -1,0 +1,32 @@
+package report
+
+// Policy-tournament accounting: how competing decision policies score
+// on the axes the paper's methodology cares about — goodput, tail
+// latency, and the migration churn a policy induces. Rows are
+// layer-agnostic so both E21 and mcpsweep -policy render through the
+// same table.
+
+// PolicyRow is one policy's aggregate tournament outcome.
+type PolicyRow struct {
+	Rank        int
+	Policy      string
+	Score       float64 // mean goodput normalized per scenario group (1 = group winner)
+	GoodPerHour float64 // mean successful deploys/hour across the grid
+	P99S        float64 // mean foreground deploy p99 latency
+	Moves       float64 // mean migrations induced (DRS + rebalancer)
+	Errors      int64   // failed deploys summed across the grid
+}
+
+// PolicyTable renders the tournament ranking, best first. Returns nil
+// for an empty row set so callers can skip rendering cleanly.
+func PolicyTable(title string, rows []PolicyRow) *Table {
+	if len(rows) == 0 {
+		return nil
+	}
+	t := NewTable(title,
+		"rank", "policy", "score", "good/h", "p99 s", "moves", "errors")
+	for _, r := range rows {
+		t.AddRow(r.Rank, r.Policy, r.Score, r.GoodPerHour, r.P99S, r.Moves, r.Errors)
+	}
+	return t
+}

@@ -159,15 +159,27 @@ func (r *Replayer) popVApp(org string) inventory.ID {
 	return inventory.None
 }
 
-// pickVM returns a live VM of org, round-robin over its vApps.
+// pickVM returns a live VM of org, round-robin over its vApps. Dead
+// vApp IDs anywhere in the ring (popVApp only trims the front, but
+// lease expiry and failed-deploy cleanup kill vApps mid-ring) are
+// pruned in place as they are encountered, so the ring holds only live
+// entries and pickVM stays O(live) instead of spinning over tombstones
+// on every op. The round-robin cursor advances only past live entries,
+// which keeps the visit order over survivors identical to the
+// pre-pruning behavior when no dead entries are present.
 func (r *Replayer) pickVM(org string) inventory.ID {
 	inv := r.dir.Manager().Inventory()
 	ring := r.vapps[org]
-	for range ring {
+	for tries := len(ring); tries > 0 && len(ring) > 0; tries-- {
 		idx := r.rrIdx[org] % len(ring)
-		r.rrIdx[org]++
 		va := inv.VApp(ring[idx])
-		if va == nil || len(va.VMs) == 0 {
+		if va == nil {
+			ring = append(ring[:idx], ring[idx+1:]...)
+			r.vapps[org] = ring
+			continue
+		}
+		r.rrIdx[org]++
+		if len(va.VMs) == 0 {
 			continue
 		}
 		return va.VMs[0]
@@ -215,7 +227,18 @@ func (r *Replayer) applyVMOp(p *sim.Proc, kind ops.Kind, vmID inventory.ID, org 
 	}
 }
 
+// pickMigrationTarget finds the most-free in-service host other than
+// the VM's current one via the capacity index — O(log hosts) instead
+// of the O(hosts) scan it replaces (pickMigrationTargetLinear, kept
+// below as the equivalence reference).
 func (r *Replayer) pickMigrationTarget(vm *inventory.VM) *inventory.Host {
+	inv := r.dir.Manager().Inventory()
+	return inv.BestHostExcluding(vm.HostID, vm.MemMB, 0)
+}
+
+// pickMigrationTargetLinear is the pre-index reference scan, retained
+// for the equivalence test that pins pickMigrationTarget bit-for-bit.
+func (r *Replayer) pickMigrationTargetLinear(vm *inventory.VM) *inventory.Host {
 	inv := r.dir.Manager().Inventory()
 	var best *inventory.Host
 	for _, id := range inv.Hosts() {

@@ -382,7 +382,15 @@ func (g *Generator) activityLoop(p *sim.Proc, vmID inventory.ID, org string) {
 	}
 }
 
+// pickOtherHost finds the most-free in-service host other than the
+// VM's current one via the capacity index; pickOtherHostLinear is the
+// retained O(hosts) reference the equivalence test pins it against.
 func (g *Generator) pickOtherHost(vm *inventory.VM) *inventory.Host {
+	inv := g.dir.Manager().Inventory()
+	return inv.BestHostExcluding(vm.HostID, vm.MemMB, 0)
+}
+
+func (g *Generator) pickOtherHostLinear(vm *inventory.VM) *inventory.Host {
 	inv := g.dir.Manager().Inventory()
 	var best *inventory.Host
 	for _, id := range inv.Hosts() {
