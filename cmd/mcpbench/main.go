@@ -10,7 +10,8 @@
 //	mcpbench                 # full-scale horizons (minutes of wall time)
 //	mcpbench -quick          # CI-scale horizons (seconds)
 //	mcpbench -seed 7         # different random universe
-//	mcpbench -only E6        # one experiment (E1..E20)
+//	mcpbench -only E6        # one experiment (E1..E22)
+//	mcpbench -only E22       # serving-surface load grid (wall-clock, see internal/api)
 //	mcpbench -workers 1      # serial execution (same output, more wall time)
 //	mcpbench -progress       # completion ticks on stderr
 //	mcpbench -metrics        # instrumented probe at the E6 crossover point
@@ -43,14 +44,18 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"cloudmcp/internal/api"
 	"cloudmcp/internal/core"
 	"cloudmcp/internal/report"
 )
 
 func main() {
+	// E22 (the serving-surface load grid) lives above core in the import
+	// graph, so it registers itself with the experiment registry here.
+	api.RegisterE22()
 	seed := flag.Int64("seed", 1, "master random seed")
 	quick := flag.Bool("quick", false, "run shortened horizons")
-	only := flag.String("only", "", "run a single experiment (E1..E20)")
+	only := flag.String("only", "", "run a single experiment (E1..E22)")
 	workers := flag.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "print per-experiment completion to stderr")
 	showMetrics := flag.Bool("metrics", false, "run an instrumented closed-loop probe at the E6 crossover and print per-layer metrics")

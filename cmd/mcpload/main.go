@@ -1,0 +1,122 @@
+// Command mcpload drives a running mcpserve with N concurrent virtual
+// users, each cycling vApps through instantiate → task poll → delete,
+// and reports the client-observed latency distribution: end-to-end
+// virtual seconds including the API-layer queue wait, with the queueing
+// share split out. This is the serving counterpart of the batch
+// experiments — the measurement loop lives outside the simulation and
+// sees exactly what a tenant sees.
+//
+//	mcpload                                  # 1000 users for 10s against 127.0.0.1:8080
+//	mcpload -users 200 -duration 5s
+//	mcpload -url http://127.0.0.1:9090 -vms 2 -power-on
+//	mcpload -think-ms 250                    # open the loop with mean 250ms think time
+//
+// Exit status is non-zero when no operation succeeds — the smoke-test
+// contract the CI leg relies on.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cloudmcp/internal/api"
+	"cloudmcp/internal/report"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8080", "mcpserve base URL")
+		users    = flag.Int("users", 1000, "concurrent virtual users")
+		orgs     = flag.Int("orgs", 8, "organizations users are spread across (must be <= the server's -orgs)")
+		duration = flag.Duration("duration", 10*time.Second, "wall-clock time to keep submitting")
+		vms      = flag.Int("vms", 1, "VMs per instantiated vApp")
+		powerOn  = flag.Bool("power-on", false, "power on each vApp as part of instantiate")
+		template = flag.String("template", "", "catalog template name (default: spread users across the catalog)")
+		thinkMS  = flag.Float64("think-ms", 0, "mean exponential think time between cycles in wall ms (0 = closed loop)")
+		seed     = flag.Int64("seed", 1, "seed for per-user think/template streams")
+	)
+	flag.Parse()
+	if err := validateLoadFlags(*users, *orgs, *vms, *duration, *thinkMS); err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "mcpload: %d users against %s for %v\n", *users, *url, *duration)
+	res, err := api.RunLoad(api.LoadConfig{
+		BaseURL:     *url,
+		Users:       *users,
+		Orgs:        *orgs,
+		Duration:    *duration,
+		VMs:         *vms,
+		PowerOn:     *powerOn,
+		Template:    *template,
+		ThinkMeanMS: *thinkMS,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	// The server knows its pacing ratio and shard count; ask it so the
+	// result row is self-describing.
+	var ratio float64
+	var shards int
+	if st, serr := api.FetchStats(api.DefaultClient(1), *url); serr == nil {
+		ratio, shards = st.PacedRatio, st.Shards
+	}
+	t := report.APITable(
+		fmt.Sprintf("mcpload: %d users, %v wall (virtual clock at %.1fs)", *users, res.WallDuration.Round(time.Millisecond), res.VirtualEndS),
+		[]report.APIRow{{
+			Users:    res.Users,
+			Ratio:    ratio,
+			Shards:   shards,
+			GoodPerH: res.GoodPerHour(),
+			P50S:     res.PercentileS(50),
+			P99S:     res.PercentileS(99),
+			APIShare: res.QueueShare(),
+			Errors:   res.Failed + res.HTTPError,
+		}})
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if _, err := fmt.Fprintf(os.Stdout,
+		"ops %d (ok %d, failed %d, transport errors %d); wall p99 %.0fms\n",
+		res.Ops, res.Succeeded, res.Failed, res.HTTPError, wallP99(res)); err != nil {
+		fatal(err)
+	}
+	if res.Succeeded == 0 {
+		fatal(fmt.Errorf("no operation succeeded"))
+	}
+}
+
+// wallP99 is the 99th percentile of wall-clock operation latency in ms.
+func wallP99(res *api.LoadResult) float64 {
+	return api.Percentile(res.WallMS, 99)
+}
+
+// validateLoadFlags rejects inconsistent values up front with a clear
+// message and non-zero exit.
+func validateLoadFlags(users, orgs, vms int, duration time.Duration, thinkMS float64) error {
+	if users < 1 {
+		return fmt.Errorf("-users must be >= 1, got %d", users)
+	}
+	if orgs < 1 {
+		return fmt.Errorf("-orgs must be >= 1, got %d", orgs)
+	}
+	if vms < 1 {
+		return fmt.Errorf("-vms must be >= 1, got %d", vms)
+	}
+	if duration <= 0 {
+		return fmt.Errorf("-duration must be > 0, got %v", duration)
+	}
+	if thinkMS < 0 {
+		return fmt.Errorf("-think-ms must be >= 0, got %g", thinkMS)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcpload:", err)
+	os.Exit(1)
+}

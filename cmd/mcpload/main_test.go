@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateLoadFlags(t *testing.T) {
+	cases := []struct {
+		users, orgs, vms int
+		duration         time.Duration
+		thinkMS          float64
+		ok               bool
+	}{
+		{1000, 8, 1, 10 * time.Second, 0, true},
+		{1, 1, 1, time.Millisecond, 0, true},
+		{200, 8, 2, 5 * time.Second, 250, true},
+		{0, 8, 1, time.Second, 0, false},
+		{10, 0, 1, time.Second, 0, false},
+		{10, 8, 0, time.Second, 0, false},
+		{10, 8, 1, 0, 0, false},
+		{10, 8, 1, -time.Second, 0, false},
+		{10, 8, 1, time.Second, -1, false},
+	}
+	for _, c := range cases {
+		err := validateLoadFlags(c.users, c.orgs, c.vms, c.duration, c.thinkMS)
+		if (err == nil) != c.ok {
+			t.Errorf("validateLoadFlags(%d, %d, %d, %v, %g) = %v, want ok=%v",
+				c.users, c.orgs, c.vms, c.duration, c.thinkMS, err, c.ok)
+		}
+	}
+}
+
+func TestValidateLoadFlagsMessagesNameTheFlag(t *testing.T) {
+	if err := validateLoadFlags(0, 8, 1, time.Second, 0); err == nil || !strings.Contains(err.Error(), "-users") {
+		t.Fatalf("users error = %v, want it to name -users", err)
+	}
+	if err := validateLoadFlags(10, 8, 1, 0, 0); err == nil || !strings.Contains(err.Error(), "-duration") {
+		t.Fatalf("duration error = %v, want it to name -duration", err)
+	}
+}

@@ -1,0 +1,189 @@
+// Package api is the VCD-style REST serving surface over a paced
+// simulation: sessions, org/vDC queries, vApp operations that return
+// async task handles, and task polling. The server is a plain
+// net/http handler backed by core.Frontend, so the same process can be
+// driven by cmd/mcpserve (a real listener), by httptest in the unit
+// suite, or in-process by the E22 load experiment.
+//
+// The shape follows the vCloud Director API the paper's workload was
+// captured from: POST /api/sessions authenticates user@org and returns
+// an x-vcloud-authorization token, provisioning POSTs return 202 with a
+// task href, and clients poll the task until it reaches a terminal
+// state — in this system, resolved in virtual time by the simulated
+// control plane.
+package api
+
+import (
+	"strconv"
+
+	"cloudmcp/internal/core"
+	"cloudmcp/internal/inventory"
+)
+
+// SessionJSON is the body returned by session create/query.
+type SessionJSON struct {
+	User  string `json:"user"`
+	Org   string `json:"org"`
+	Href  string `json:"href"`
+	Token string `json:"token,omitempty"`
+}
+
+// OrgRefJSON is one entry of the org listing.
+type OrgRefJSON struct {
+	Name string `json:"name"`
+	Href string `json:"href"`
+}
+
+// OrgJSON is the org detail view.
+type OrgJSON struct {
+	Name     string     `json:"name"`
+	QuotaVMs int        `json:"quotaVMs"`
+	LiveVMs  int        `json:"liveVMs"`
+	VDCHref  string     `json:"vdcHref"`
+	VApps    []VAppJSON `json:"vApps"`
+}
+
+// VAppJSON is the org-scoped vApp view.
+type VAppJSON struct {
+	ID        int64  `json:"id"`
+	Name      string `json:"name"`
+	Org       string `json:"org"`
+	VMs       int    `json:"vms"`
+	PoweredOn int    `json:"poweredOn"`
+	Href      string `json:"href"`
+}
+
+// VDCJSON is the provider-vDC capacity view plus the session org's
+// vApps.
+type VDCJSON struct {
+	Name        string         `json:"name"`
+	CPUMHz      int            `json:"cpuMHz"`
+	UsedCPUMHz  int            `json:"usedCPUMHz"`
+	MemMB       int            `json:"memMB"`
+	UsedMemMB   int            `json:"usedMemMB"`
+	CapacityGB  float64        `json:"capacityGB"`
+	UsedGB      float64        `json:"usedGB"`
+	Hosts       int            `json:"hosts"`
+	Datastores  int            `json:"datastores"`
+	VMs         int            `json:"vms"`
+	VApps       int            `json:"vApps"`
+	Shards      int            `json:"shards"`
+	VirtualNowS float64        `json:"virtualNowS"`
+	Templates   []TemplateJSON `json:"templates"`
+}
+
+// TemplateJSON is one catalog entry.
+type TemplateJSON struct {
+	Name   string  `json:"name"`
+	DiskGB float64 `json:"diskGB"`
+	MemMB  int     `json:"memMB"`
+	CPUs   int     `json:"cpus"`
+}
+
+// InstantiateJSON is the body of instantiateVAppTemplate.
+type InstantiateJSON struct {
+	Template string `json:"template"`
+	VMs      int    `json:"vms"`
+	PowerOn  bool   `json:"powerOn"`
+}
+
+// TaskJSON is the async task handle clients poll. Times are virtual
+// seconds; queueWaitS is the API-layer share, latencyS the end-to-end
+// total including it.
+type TaskJSON struct {
+	ID         int64   `json:"id"`
+	Operation  string  `json:"operation"`
+	Org        string  `json:"org"`
+	Status     string  `json:"status"`
+	Href       string  `json:"href"`
+	SubmitS    float64 `json:"submitS"`
+	StartS     float64 `json:"startS"`
+	EndS       float64 `json:"endS"`
+	QueueWaitS float64 `json:"queueWaitS"`
+	LatencyS   float64 `json:"latencyS"`
+	MgmtTasks  int     `json:"mgmtTasks"`
+	Error      string  `json:"error,omitempty"`
+	VAppID     int64   `json:"vAppId,omitempty"`
+	VAppName   string  `json:"vAppName,omitempty"`
+	VAppHref   string  `json:"vAppHref,omitempty"`
+}
+
+// StatsJSON is the operator view served under /api/admin/stats.
+type StatsJSON struct {
+	Submitted      int64   `json:"submitted"`
+	Completed      int64   `json:"completed"`
+	Failed         int64   `json:"failed"`
+	InFlight       int64   `json:"inFlight"`
+	QueueWaitSumS  float64 `json:"queueWaitSumS"`
+	QueueWaitMeanS float64 `json:"queueWaitMeanS"`
+	VirtualNowS    float64 `json:"virtualNowS"`
+	PacedRatio     float64 `json:"pacedRatio"`
+	Shards         int     `json:"shards"`
+	Sessions       int     `json:"sessions"`
+}
+
+// ErrorJSON is the uniform error body.
+type ErrorJSON struct {
+	Status  int    `json:"status"`
+	Message string `json:"message"`
+}
+
+func taskJSON(t core.TaskInfo) TaskJSON {
+	out := TaskJSON{
+		ID:         t.ID,
+		Operation:  string(t.Op),
+		Org:        t.Org,
+		Status:     string(t.State),
+		Href:       taskHref(t.ID),
+		SubmitS:    float64(t.SubmitV),
+		StartS:     float64(t.StartV),
+		EndS:       float64(t.EndV),
+		QueueWaitS: t.QueueWaitS,
+		LatencyS:   t.Latency(),
+		MgmtTasks:  t.MgmtTasks,
+		Error:      t.Error,
+	}
+	if t.VApp != inventory.None {
+		out.VAppID = int64(t.VApp)
+		out.VAppName = t.VAppName
+		out.VAppHref = vappHref(t.VApp)
+	}
+	return out
+}
+
+func vappJSON(v core.VAppView) VAppJSON {
+	return VAppJSON{
+		ID: int64(v.ID), Name: v.Name, Org: v.Org,
+		VMs: v.VMs, PoweredOn: v.PoweredOn, Href: vappHref(v.ID),
+	}
+}
+
+func vdcJSON(pv core.ProviderView) VDCJSON {
+	out := VDCJSON{
+		Name:        "provider-vdc",
+		CPUMHz:      pv.CPUMHz,
+		UsedCPUMHz:  pv.UsedCPUMHz,
+		MemMB:       pv.MemMB,
+		UsedMemMB:   pv.UsedMemMB,
+		CapacityGB:  pv.CapacityGB,
+		UsedGB:      pv.UsedGB,
+		Hosts:       pv.Hosts,
+		Datastores:  pv.Datastores,
+		VMs:         pv.VMs,
+		VApps:       pv.VApps,
+		Shards:      pv.ShardCount,
+		VirtualNowS: float64(pv.VirtualNowS),
+	}
+	for _, t := range pv.TemplateList {
+		out.Templates = append(out.Templates, TemplateJSON{
+			Name: t.Name, DiskGB: t.DiskGB, MemMB: t.MemMB, CPUs: t.CPUs,
+		})
+	}
+	return out
+}
+
+func itoa(v int64) string             { return strconv.FormatInt(v, 10) }
+func taskHref(id int64) string        { return "/api/task/" + itoa(id) }
+func vappHref(id inventory.ID) string { return "/api/vApp/" + itoa(int64(id)) }
+func orgHref(name string) string      { return "/api/org/" + name }
+func vdcHref() string                 { return "/api/vdc/provider-vdc" }

@@ -612,6 +612,37 @@ func (d *Director) deployOne(p *sim.Proc, org, name string, tpl *inventory.Templ
 	return out
 }
 
+// PowerVApp powers every VM of va on (or off), paying one cell stage per
+// VM like the deploy path does, and returns the tasks issued. VMs already
+// in the requested state are skipped — vApp power ops are idempotent at
+// the director, matching how self-service APIs expose them.
+func (d *Director) PowerVApp(p *sim.Proc, va *inventory.VApp, org string, on bool) []*mgmt.Task {
+	inv := d.mgr.Inventory()
+	var tasks []*mgmt.Task
+	ids := make([]inventory.ID, len(va.VMs))
+	copy(ids, va.VMs)
+	for _, id := range ids {
+		vm := inv.VM(id)
+		if vm == nil {
+			continue
+		}
+		if on {
+			if vm.State == inventory.VMPoweredOn {
+				continue
+			}
+			ctx := d.reqCtx(p, org, ops.KindPowerOn, p.Now())
+			tasks = append(tasks, d.mgr.PowerOn(p, vm, ctx))
+		} else {
+			if vm.State != inventory.VMPoweredOn {
+				continue
+			}
+			ctx := d.reqCtx(p, org, ops.KindPowerOff, p.Now())
+			tasks = append(tasks, d.mgr.PowerOff(p, vm, ctx))
+		}
+	}
+	return tasks
+}
+
 // DeleteVApp powers off and destroys every VM of va, then removes the
 // vApp. It returns the tasks issued.
 func (d *Director) DeleteVApp(p *sim.Proc, va *inventory.VApp, org string) []*mgmt.Task {

@@ -113,6 +113,25 @@ func Extensions() []Experiment {
 	}
 }
 
+// registered holds extensions contributed from outside this package.
+// Packages above core in the import graph (internal/api's E22) register
+// here so RunExperiment can dispatch to them without core importing
+// them — core cannot, without a cycle.
+var registered []Experiment
+
+// RegisterExtension adds an externally defined experiment to the
+// registry. Call from an init function or before RunExperiment; later
+// registrations with an existing name override the earlier entry.
+func RegisterExtension(e Experiment) {
+	for i := range registered {
+		if registered[i].Name == e.Name {
+			registered[i] = e
+			return
+		}
+	}
+	registered = append(registered, e)
+}
+
 // RunExperiment runs one experiment by name at its registry-default
 // horizon.
 func RunExperiment(name string, seed int64, quick bool, workers int) (Renderable, error) {
@@ -120,7 +139,9 @@ func RunExperiment(name string, seed int64, quick bool, workers int) (Renderable
 	if quick {
 		scale = 0.1
 	}
-	for _, e := range append(Experiments(), Extensions()...) {
+	all := append(Experiments(), Extensions()...)
+	all = append(all, registered...)
+	for _, e := range all {
 		if e.Name == name {
 			r, err := e.Run(seed, scale, workers)
 			if err != nil {
@@ -129,7 +150,7 @@ func RunExperiment(name string, seed int64, quick bool, workers int) (Renderable
 			return r, nil
 		}
 	}
-	return nil, fmt.Errorf("unknown experiment %q (want E1..E21)", name)
+	return nil, fmt.Errorf("unknown experiment %q (want E1..E21, or a registered extension)", name)
 }
 
 // RunAllOptions tunes the parallel suite run.

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCheckedInScenariosLoadAndBuild globs every scenario file shipped in
+// the repo through the config loader and builds a Cloud from each one.
+// A scenario that drifts out of sync with the wire format (a renamed
+// key, a removed policy name, an invalid value combination) fails here
+// instead of at the moment someone passes it to -config.
+func TestCheckedInScenariosLoadAndBuild(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no checked-in scenarios found; the glob path is wrong")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			defer f.Close()
+			cfg, err := LoadConfig(f)
+			if err != nil {
+				t.Fatalf("LoadConfig: %v", err)
+			}
+			cfg.Record = false // building, not running; skip the trace sink
+			if _, err := New(cfg); err != nil {
+				t.Fatalf("New: %v", err)
+			}
+		})
+	}
+}

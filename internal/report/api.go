@@ -1,0 +1,35 @@
+package report
+
+// Serving-surface accounting: what a load generator measured through
+// the REST front-end. Latencies are end-to-end in virtual seconds —
+// API-layer queue wait plus control-plane execution — with the queueing
+// share split out separately, since that is the component the batch
+// experiments never see.
+
+// APIRow is one load-test cell: a (virtual users, pacing ratio, shards)
+// point and what the clients observed there.
+type APIRow struct {
+	Users    int     // concurrent virtual users
+	Ratio    float64 // virtual seconds per wall second (0 = free-run)
+	Shards   int     // management-plane shards backing the server
+	GoodPerH float64 // successful operations per virtual hour
+	P50S     float64 // median end-to-end virtual latency
+	P99S     float64 // p99 end-to-end virtual latency
+	APIShare float64 // fraction of total latency spent in API queueing
+	MaxLagMS float64 // worst wall-clock slip of the paced driver
+	Errors   int64   // failed operations
+}
+
+// APITable renders load-test cells in the order given. Returns nil for
+// an empty row set so callers can skip rendering cleanly.
+func APITable(title string, rows []APIRow) *Table {
+	if len(rows) == 0 {
+		return nil
+	}
+	t := NewTable(title,
+		"users", "ratio", "shards", "good/h", "p50 s", "p99 s", "api share", "max lag ms", "errors")
+	for _, r := range rows {
+		t.AddRow(r.Users, r.Ratio, r.Shards, r.GoodPerH, r.P50S, r.P99S, r.APIShare, r.MaxLagMS, r.Errors)
+	}
+	return t
+}

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// traceModel builds a small contended model — three workers looping over
+// a two-slot resource with distinct hold times — and returns the trace
+// log the workers append to. The exact interleaving exercises the
+// kernel's FIFO ordering, so any drift between drivers shows up.
+func traceModel(env *Env) *[]string {
+	log := &[]string{}
+	res := NewResource(env, "slots", 2)
+	for i := 0; i < 3; i++ {
+		i := i
+		hold := Time(i+1) * 0.7
+		env.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			for n := 0; n < 20; n++ {
+				res.Acquire(p, 1)
+				p.Sleep(hold)
+				res.Release(1)
+				*log = append(*log, fmt.Sprintf("w%d n%d t%.3f", i, n, p.Now()))
+				p.Sleep(0.3)
+			}
+		})
+	}
+	return log
+}
+
+// TestBatchDriverIsEnvRun pins the identity: driving a model through
+// Batch produces exactly the trace Env.Run produces.
+func TestBatchDriverIsEnvRun(t *testing.T) {
+	envA := NewEnv()
+	logA := traceModel(envA)
+	endA := envA.Run(100)
+
+	envB := NewEnv()
+	logB := traceModel(envB)
+	endB := Batch{Env: envB}.Run(100)
+
+	if endA != endB {
+		t.Fatalf("final times differ: %v vs %v", endA, endB)
+	}
+	if !reflect.DeepEqual(*logA, *logB) {
+		t.Fatalf("traces differ:\nenv.Run: %v\nBatch:   %v", *logA, *logB)
+	}
+}
+
+// TestPacedNoInjectionMatchesBatch pins the other half of the identity:
+// with no injected commands, quantum batching merely splits Run into
+// consecutive horizons, so the virtual-time trace is unchanged for any
+// quantum size.
+func TestPacedNoInjectionMatchesBatch(t *testing.T) {
+	ref := NewEnv()
+	refLog := traceModel(ref)
+	refEnd := ref.Run(100)
+
+	for _, quantum := range []Time{0.1, 0.25, 1, 7.3, 1000} {
+		env := NewEnv()
+		log := traceModel(env)
+		d := NewPaced(env, PacedConfig{Ratio: 0, QuantumS: quantum})
+		end := d.Run(100)
+		if end != refEnd {
+			t.Fatalf("quantum %v: final time %v, want %v", quantum, end, refEnd)
+		}
+		if !reflect.DeepEqual(*log, *refLog) {
+			t.Fatalf("quantum %v: trace diverged from batch", quantum)
+		}
+	}
+}
+
+// TestPacedScriptedInjectionDeterministic runs the same SubmitAt
+// schedule twice and requires bit-identical virtual-time traces.
+func TestPacedScriptedInjectionDeterministic(t *testing.T) {
+	run := func() []string {
+		env := NewEnv()
+		log := traceModel(env)
+		d := NewPaced(env, PacedConfig{Ratio: 0, QuantumS: 0.5})
+		for i := 0; i < 10; i++ {
+			i := i
+			at := Time(i) * 3.1
+			d.SubmitAt(at, func(env *Env) {
+				*log = append(*log, fmt.Sprintf("inject%d t%.3f", i, env.Now()))
+				env.Go(fmt.Sprintf("inj%d", i), func(p *Proc) {
+					p.Sleep(0.9)
+					*log = append(*log, fmt.Sprintf("inj%d done t%.3f", i, p.Now()))
+				})
+			}, nil)
+		}
+		d.Run(60)
+		return *log
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("scripted paced runs diverged:\n%v\n%v", a, b)
+	}
+	// Sanity: the injections actually happened.
+	var saw int
+	for _, l := range a {
+		if len(l) >= 6 && l[:6] == "inject" {
+			saw++
+		}
+	}
+	if saw != 10 {
+		t.Fatalf("expected 10 injections in trace, saw %d", saw)
+	}
+}
+
+// TestPacedInjectionLandsAtBoundary checks the quantization contract: a
+// command released at virtual time v runs at the first boundary >= v,
+// never earlier.
+func TestPacedInjectionLandsAtBoundary(t *testing.T) {
+	env := NewEnv()
+	d := NewPaced(env, PacedConfig{Ratio: 0, QuantumS: 2})
+	var at []Time
+	for _, rel := range []Time{0, 0.1, 2, 3.5, 9.99} {
+		d.SubmitAt(rel, func(env *Env) { at = append(at, env.Now()) }, nil)
+	}
+	d.Run(20)
+	want := []Time{0, 2, 2, 4, 10}
+	if !reflect.DeepEqual(at, want) {
+		t.Fatalf("injection times %v, want %v", at, want)
+	}
+}
+
+// TestPacedGracefulStop verifies Stop from another goroutine ends Run at
+// a quantum boundary and rejects still-pending commands exactly once.
+func TestPacedGracefulStop(t *testing.T) {
+	env := NewEnv()
+	// An immortal heartbeat so the heap never drains.
+	var beat func()
+	beat = func() { env.Schedule(1, beat) }
+	env.Schedule(1, beat)
+
+	d := NewPaced(env, PacedConfig{Ratio: 1000, QuantumS: 1})
+	var rejected int
+	d.SubmitAt(1e12, func(*Env) { t.Error("command from the far future ran") },
+		func() { rejected++ })
+
+	done := make(chan Time, 1)
+	go func() { done <- d.Run(Forever) }()
+	time.Sleep(30 * time.Millisecond)
+	d.Stop()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after Stop")
+	}
+	if rejected != 1 {
+		t.Fatalf("pending command rejected %d times, want 1", rejected)
+	}
+	if ok := d.Submit(func(*Env) {}, nil); ok {
+		t.Fatal("Submit accepted after stop")
+	}
+	if ok := d.Do(func(*Env) {}); ok {
+		t.Fatal("Do succeeded after stop")
+	}
+}
+
+// TestPacedDoRoundTrip verifies the synchronous read path: Do observes
+// state from inside a boundary and returns once its closure ran.
+func TestPacedDoRoundTrip(t *testing.T) {
+	env := NewEnv()
+	var beat func()
+	beat = func() { env.Schedule(0.5, beat) }
+	env.Schedule(0.5, beat)
+
+	d := NewPaced(env, PacedConfig{Ratio: 0, QuantumS: 1})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var seen Time
+	go func() {
+		defer wg.Done()
+		if !d.Do(func(env *Env) { seen = env.Now() }) {
+			t.Error("Do failed on a running driver")
+		}
+		d.Stop()
+	}()
+	d.Run(Forever)
+	wg.Wait()
+	if seen < 0 {
+		t.Fatalf("Do observed nonsense time %v", seen)
+	}
+}
+
+// TestPacedWallPacing checks the wall mapping with a stubbed clock: at
+// ratio R the driver asks to sleep ~quantum/R per quantum.
+func TestPacedWallPacing(t *testing.T) {
+	env := NewEnv()
+	var beat func()
+	beat = func() { env.Schedule(1, beat) }
+	env.Schedule(1, beat)
+
+	d := NewPaced(env, PacedConfig{Ratio: 10, QuantumS: 1})
+	var fake time.Time // zero base; advance on sleep
+	var slept time.Duration
+	d.now = func() time.Time { return fake }
+	d.sleep = func(dt time.Duration) { slept += dt; fake = fake.Add(dt) }
+	d.Run(50) // 50 virtual s at 10 v/s per wall s => 5 wall s
+	if want := 5 * time.Second; slept != want {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	if d.MaxLag() > 0 {
+		t.Fatalf("stubbed clock never lags, got %v", d.MaxLag())
+	}
+}
+
+// TestPacedVirtualNow pins the boundary clock: after Run to a horizon,
+// VirtualNow reports it.
+func TestPacedVirtualNow(t *testing.T) {
+	env := NewEnv()
+	d := NewPaced(env, PacedConfig{Ratio: 0, QuantumS: 0.25})
+	if d.VirtualNow() != 0 {
+		t.Fatalf("fresh driver VirtualNow = %v", d.VirtualNow())
+	}
+	d.Run(12.5)
+	if d.VirtualNow() != 12.5 {
+		t.Fatalf("VirtualNow = %v, want 12.5", d.VirtualNow())
+	}
+}
