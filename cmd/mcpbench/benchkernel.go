@@ -23,20 +23,27 @@ import (
 // next to freshly measured numbers.
 
 // e6Reference pins the E6 closed-loop allocation counts measured with
-// `go test -bench=E6_Throughput -benchmem` at seed 1, HorizonS 900, on
-// the commit before and after the kernel performance pass.
+// `go test -bench=E6_Throughput -benchmem` at seed 1, HorizonS 900:
+// the pre-optimization baseline, the first pooled-kernel pass (event
+// and waiter free lists), and the second pass that landed with the
+// lane kernel (lock-frame and lock-resource recycling in mgmt, parked
+// process-goroutine reuse in sim, deploy-frame pooling in clouddir).
 var e6Reference = struct {
 	BaselineAllocsPerOp int64   `json:"baseline_allocs_per_op"`
 	BaselineBytesPerOp  int64   `json:"baseline_bytes_per_op"`
 	PooledAllocsPerOp   int64   `json:"pooled_allocs_per_op"`
 	PooledBytesPerOp    int64   `json:"pooled_bytes_per_op"`
+	Pooled2AllocsPerOp  int64   `json:"pooled_v2_allocs_per_op"`
+	Pooled2BytesPerOp   int64   `json:"pooled_v2_bytes_per_op"`
 	AllocsReductionPct  float64 `json:"allocs_reduction_pct"`
 }{
 	BaselineAllocsPerOp: 436711,
 	BaselineBytesPerOp:  21279712,
 	PooledAllocsPerOp:   156127,
 	PooledBytesPerOp:    15350688,
-	AllocsReductionPct:  64.2,
+	Pooled2AllocsPerOp:  92151,
+	Pooled2BytesPerOp:   13368636,
+	AllocsReductionPct:  78.9,
 }
 
 type benchEntry struct {
@@ -127,6 +134,36 @@ func kernelBenches(seed int64) []struct {
 				}
 			}
 		}},
+		// The lanes dimension: the same sharded closed loop under the
+		// single-heap kernel and the lane-partitioned kernel. Artifacts
+		// are identical at every lane count (pinned by the determinism
+		// tests), so these rows measure pure kernel overhead/benefit —
+		// lanes=1 is the no-regression baseline.
+		{"lanes1/closed_loop", lanesClosedLoop(seed, 1)},
+		{"lanes2/closed_loop", lanesClosedLoop(seed, 2)},
+		{"lanes4/closed_loop", lanesClosedLoop(seed, 4)},
+	}
+}
+
+// lanesClosedLoop builds one lanes-dimension bench: a 4-shard,
+// 32-client linked-clone closed loop with the kernel partitioned into
+// the given lane count (1 = the single-heap kernel, byte-identical
+// output either way).
+func lanesClosedLoop(seed int64, lanes int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := core.DefaultConfig(seed)
+			cfg.Director.FastProvisioning = true
+			cfg.Director.RebalanceThreshold = 0
+			cfg.Plane.Shards = 4
+			if lanes > 1 {
+				cfg.Lanes = lanes
+			}
+			if _, err := core.RunClosedLoop(cfg, 32, 300, 30); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 

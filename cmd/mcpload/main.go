@@ -11,8 +11,11 @@
 //	mcpload -url http://127.0.0.1:9090 -vms 2 -power-on
 //	mcpload -think-ms 250                    # open the loop with mean 250ms think time
 //
-// Exit status is non-zero when no operation succeeds — the smoke-test
-// contract the CI leg relies on.
+// Operations still unresolved when the drain grace expires are counted
+// in the cutoff column, not as failures: they are deadline truncation,
+// not server errors. Exit status is non-zero only on real failures —
+// no operation succeeded and the run was not merely cut off — the
+// smoke-test contract the CI leg relies on.
 package main
 
 import (
@@ -36,10 +39,14 @@ func main() {
 		template = flag.String("template", "", "catalog template name (default: spread users across the catalog)")
 		thinkMS  = flag.Float64("think-ms", 0, "mean exponential think time between cycles in wall ms (0 = closed loop)")
 		seed     = flag.Int64("seed", 1, "seed for per-user think/template streams")
+		grace    = flag.Duration("drain-grace", 5*time.Second, "how long past -duration in-flight operations may keep polling before they count as cut off")
 	)
 	flag.Parse()
 	if err := validateLoadFlags(*users, *orgs, *vms, *duration, *thinkMS); err != nil {
 		fatal(err)
+	}
+	if *grace <= 0 {
+		fatal(fmt.Errorf("-drain-grace must be > 0, got %v", *grace))
 	}
 
 	fmt.Fprintf(os.Stderr, "mcpload: %d users against %s for %v\n", *users, *url, *duration)
@@ -53,6 +60,7 @@ func main() {
 		Template:    *template,
 		ThinkMeanMS: *thinkMS,
 		Seed:        *seed,
+		DrainGrace:  *grace,
 	})
 	if err != nil {
 		fatal(err)
@@ -76,16 +84,25 @@ func main() {
 			P99S:     res.PercentileS(99),
 			APIShare: res.QueueShare(),
 			Errors:   res.Failed + res.HTTPError,
+			Cutoff:   res.Cutoff,
 		}})
 	if err := t.Render(os.Stdout); err != nil {
 		fatal(err)
 	}
 	if _, err := fmt.Fprintf(os.Stdout,
-		"ops %d (ok %d, failed %d, transport errors %d); wall p99 %.0fms\n",
-		res.Ops, res.Succeeded, res.Failed, res.HTTPError, wallP99(res)); err != nil {
+		"ops %d (ok %d, failed %d, transport errors %d, cut off %d); wall p99 %.0fms\n",
+		res.Ops, res.Succeeded, res.Failed, res.HTTPError, res.Cutoff, wallP99(res)); err != nil {
 		fatal(err)
 	}
+	// Exit non-zero only on real failures. A run whose operations were
+	// all cut off at the deadline measured a too-short window, not a
+	// broken server; cutoffs have their own column and do not flip the
+	// exit status.
 	if res.Succeeded == 0 {
+		if res.Cutoff > 0 && res.Failed == 0 && res.HTTPError == 0 {
+			fmt.Fprintln(os.Stderr, "mcpload: no operation resolved before the drain deadline (all cut off); lengthen -duration or -drain-grace")
+			return
+		}
 		fatal(fmt.Errorf("no operation succeeded"))
 	}
 }

@@ -44,11 +44,19 @@ func main() {
 		orgs       = flag.Int("orgs", 8, "tenant organizations (org0..orgN-1)")
 		configPath = flag.String("config", "", "JSON scenario file (overrides -shards and the default topology)")
 		duration   = flag.Duration("duration", 0, "serve for this wall-clock duration then exit (0 = until SIGINT/SIGTERM)")
+		sessionTTL = flag.Duration("session-ttl", api.DefaultSessionTTL, "idle timeout before a session is evicted (0 = never)")
+		lanes      = flag.Int("lanes", 1, "event lanes partitioning the kernel (1 = single heap; identical behavior at any count)")
 		metricsOn  = flag.Bool("metrics", false, "collect per-layer metrics and print the snapshot at shutdown")
 	)
 	flag.Parse()
 	if err := validateServeFlags(*ratio, *quantum, *shards, *orgs, *duration); err != nil {
 		fatal(err)
+	}
+	if *sessionTTL < 0 {
+		fatal(fmt.Errorf("-session-ttl must be >= 0, got %v", *sessionTTL))
+	}
+	if *lanes < 1 {
+		fatal(fmt.Errorf("-lanes must be >= 1, got %d", *lanes))
 	}
 
 	var cfg core.Config
@@ -68,6 +76,9 @@ func main() {
 		cfg.Plane.Shards = *shards
 	}
 	cfg.Record = false // a served run is open-ended; an unbounded trace would only leak
+	if *lanes > 1 {
+		cfg.Lanes = *lanes
+	}
 	if *metricsOn {
 		cfg.Metrics = true
 	}
@@ -78,6 +89,7 @@ func main() {
 	drv := sim.NewPaced(cloud.Env(), sim.PacedConfig{Ratio: *ratio, QuantumS: sim.Time(*quantum)})
 	fe := core.NewFrontend(cloud, drv, core.FrontendConfig{Orgs: *orgs})
 	srv := api.NewServer(fe)
+	srv.SetSessionTTL(*sessionTTL)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -143,6 +143,7 @@ func runE22Cell(p E22Params, users int, ratio float64, shards int) (report.APIRo
 		APIShare: load.QueueShare(),
 		MaxLagMS: float64(drv.MaxLag()) / float64(time.Millisecond),
 		Errors:   load.Failed + load.HTTPError,
+		Cutoff:   load.Cutoff,
 	}, nil
 }
 

@@ -34,8 +34,16 @@ type LoadConfig struct {
 	// default tenant count).
 	Orgs int
 	// Duration is the wall-clock time to keep submitting; in-flight
-	// operations are drained (polled to terminal) after it elapses.
+	// operations are drained (polled to terminal) for up to DrainGrace
+	// after it elapses.
 	Duration time.Duration
+	// DrainGrace bounds how long past the deadline an in-flight
+	// operation may keep polling. Operations still unresolved when it
+	// expires are counted as Cutoff — not Failed — so a run against a
+	// slow server terminates in bounded wall time instead of hanging in
+	// the drain, and short-run truncation is visible as its own column
+	// rather than misread as server errors. Default 5s.
+	DrainGrace time.Duration
 	// VMs is the vApp size per instantiate (default 1).
 	VMs int
 	// PowerOn requests power-on with each instantiate.
@@ -65,6 +73,7 @@ type LoadResult struct {
 	Succeeded int64
 	Failed    int64 // terminal error states
 	HTTPError int64 // transport/protocol failures (retried)
+	Cutoff    int64 // still unresolved when the drain deadline expired
 
 	// Per successful operation, in completion order per user.
 	LatenciesS  []float64 // virtual end-to-end (queue wait included)
@@ -145,6 +154,7 @@ type loadUser struct {
 	org      string
 	template string
 	think    *rng.Stream
+	drainBy  time.Time // hard stop for task polling (deadline + grace)
 
 	res LoadResult
 }
@@ -167,6 +177,9 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	if cfg.PollMax <= 0 {
 		cfg.PollMax = 500 * time.Millisecond
 	}
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = 5 * time.Second
+	}
 	client := cfg.Client
 	if client == nil {
 		client = DefaultClient(cfg.Users)
@@ -182,14 +195,16 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
+	drainBy := deadline.Add(cfg.DrainGrace)
 	users := make([]*loadUser, cfg.Users)
 	var wg sync.WaitGroup
 	for i := range users {
 		u := &loadUser{
-			cfg:    cfg,
-			client: client,
-			org:    fmt.Sprintf("org%d", i%cfg.Orgs),
-			think:  rng.Derive(cfg.Seed, fmt.Sprintf("loadgen-user%d", i)),
+			cfg:     cfg,
+			client:  client,
+			org:     fmt.Sprintf("org%d", i%cfg.Orgs),
+			think:   rng.Derive(cfg.Seed, fmt.Sprintf("loadgen-user%d", i)),
+			drainBy: drainBy,
 		}
 		u.template = cfg.Template
 		if u.template == "" {
@@ -210,6 +225,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		merged.Succeeded += u.res.Succeeded
 		merged.Failed += u.res.Failed
 		merged.HTTPError += u.res.HTTPError
+		merged.Cutoff += u.res.Cutoff
 		merged.LatenciesS = append(merged.LatenciesS, u.res.LatenciesS...)
 		merged.QueueWaitsS = append(merged.QueueWaitsS, u.res.QueueWaitsS...)
 		merged.WallMS = append(merged.WallMS, u.res.WallMS...)
@@ -248,7 +264,10 @@ func (u *loadUser) run(idx int, deadline time.Time) {
 			time.Sleep(dt)
 		}
 	}
-	// Leave no orphans: drain the vApp the loop may still hold.
+	// Leave no orphans: drain the vApp the loop may still hold. The
+	// drain is bounded like every other poll — if the delete does not
+	// resolve by drainBy it is counted as cut off and the vApp is left
+	// to the server's own cleanup.
 	if vapp != 0 {
 		u.deleteVApp(vapp)
 	}
@@ -316,7 +335,11 @@ func (u *loadUser) submit(method, path string, body []byte) (TaskJSON, bool) {
 }
 
 // awaitTask polls the handle with exponential backoff until terminal,
-// recording the operation's latency split.
+// recording the operation's latency split. Polling stops at u.drainBy:
+// an operation still pending then is counted as Cutoff — not Ops, not
+// Failed — so the generator's wall time is bounded by Duration +
+// DrainGrace even when the server never resolves a task, and deadline
+// truncation is never misreported as a server error.
 func (u *loadUser) awaitTask(task TaskJSON) (TaskJSON, bool) {
 	wall0 := time.Now()
 	delay := u.cfg.PollInitial
@@ -337,6 +360,10 @@ func (u *loadUser) awaitTask(task TaskJSON) (TaskJSON, bool) {
 			u.res.Ops++
 			u.res.Failed++
 			return final, true
+		}
+		if !u.drainBy.IsZero() && !time.Now().Before(u.drainBy) {
+			u.res.Cutoff++
+			return TaskJSON{}, false
 		}
 		time.Sleep(delay)
 		delay = delay * 3 / 2

@@ -1,0 +1,118 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stuckServer mimics the REST surface just enough for the load
+// generator, but its tasks never leave "running". It is the regression
+// fixture for the drain-deadline contract: before the cutoff fix the
+// generator's awaitTask loop polled such a task forever.
+type stuckServer struct {
+	nextTask atomic.Int64
+	polls    atomic.Int64
+}
+
+func (s *stuckServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == "POST" && r.URL.Path == "/api/sessions":
+		w.Header().Set(AuthHeader, "stuck-token")
+		w.WriteHeader(http.StatusCreated)
+	case r.Method == "GET" && r.URL.Path == vdcHref():
+		_ = json.NewEncoder(w).Encode(VDCJSON{
+			Name:      "stuck",
+			Templates: []TemplateJSON{{Name: "tmpl", DiskGB: 1, MemMB: 512, CPUs: 1}},
+		})
+	case r.Method == "POST" && strings.HasSuffix(r.URL.Path, "instantiateVAppTemplate"):
+		id := s.nextTask.Add(1)
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(TaskJSON{ID: id, Status: "running"})
+	case r.Method == "GET" && strings.HasPrefix(r.URL.Path, "/api/task/"):
+		s.polls.Add(1)
+		_ = json.NewEncoder(w).Encode(TaskJSON{Status: "running"})
+	case r.Method == "GET" && r.URL.Path == "/api/admin/stats":
+		_ = json.NewEncoder(w).Encode(StatsJSON{})
+	default:
+		http.Error(w, "unexpected: "+r.Method+" "+r.URL.Path, http.StatusNotFound)
+	}
+}
+
+// TestLoadCutoffAtDrainDeadline pins the deadline accounting: against a
+// server that never resolves tasks, RunLoad must return within Duration
+// + DrainGrace (plus scheduling slack), count the unresolved operations
+// as Cutoff, and not misreport them as failures or terminal ops.
+func TestLoadCutoffAtDrainDeadline(t *testing.T) {
+	stuck := &stuckServer{}
+	ts := httptest.NewServer(stuck)
+	defer ts.Close()
+
+	const (
+		duration = 200 * time.Millisecond
+		grace    = 300 * time.Millisecond
+	)
+	start := time.Now()
+	res, err := RunLoad(LoadConfig{
+		BaseURL:     ts.URL,
+		Users:       4,
+		Duration:    duration,
+		DrainGrace:  grace,
+		Seed:        1,
+		PollInitial: 10 * time.Millisecond,
+		PollMax:     20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	elapsed := time.Since(start)
+
+	// Generous slack: the bound being tested is "terminates promptly",
+	// not a tight latency envelope.
+	if limit := duration + grace + 5*time.Second; elapsed > limit {
+		t.Fatalf("RunLoad took %v, want <= %v (drain deadline not enforced)", elapsed, limit)
+	}
+	if res.Cutoff == 0 {
+		t.Fatalf("Cutoff = 0, want > 0: every op was unresolvable, res = %+v", res)
+	}
+	if res.Failed != 0 || res.HTTPError != 0 {
+		t.Fatalf("cut-off ops misreported as failures: Failed=%d HTTPError=%d", res.Failed, res.HTTPError)
+	}
+	if res.Ops != 0 || res.Succeeded != 0 {
+		t.Fatalf("no task ever reached terminal state, yet Ops=%d Succeeded=%d", res.Ops, res.Succeeded)
+	}
+	if stuck.polls.Load() == 0 {
+		t.Fatal("stub was never polled; test fixture is not exercising awaitTask")
+	}
+}
+
+// TestLoadDefaultsDrainGrace pins the default so an unconfigured run is
+// still wall-bounded.
+func TestLoadDefaultsDrainGrace(t *testing.T) {
+	stuck := &stuckServer{}
+	ts := httptest.NewServer(stuck)
+	defer ts.Close()
+
+	start := time.Now()
+	res, err := RunLoad(LoadConfig{
+		BaseURL:     ts.URL,
+		Users:       1,
+		Duration:    50 * time.Millisecond,
+		Seed:        1,
+		PollInitial: 10 * time.Millisecond,
+		PollMax:     20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if limit := 50*time.Millisecond + 5*time.Second + 10*time.Second; time.Since(start) > limit {
+		t.Fatalf("RunLoad took %v, want <= %v", time.Since(start), limit)
+	}
+	if res.Cutoff == 0 {
+		t.Fatalf("Cutoff = 0 with default grace, res = %+v", res)
+	}
+}

@@ -21,11 +21,18 @@ const AuthHeader = "x-vcloud-authorization"
 
 // session is one authenticated client.
 type session struct {
-	token   string
-	user    string
-	org     string
-	created time.Time
+	token    string
+	user     string
+	org      string
+	created  time.Time
+	lastSeen time.Time
 }
+
+// DefaultSessionTTL is the idle timeout after which a session is
+// evicted. VCD expires idle sessions the same way; without a TTL the
+// session map grows by one entry per login forever — load generators
+// that log in per connection leak the server's memory.
+const DefaultSessionTTL = 30 * time.Minute
 
 // Server is the VCD-style REST surface over a serving façade. It is an
 // http.Handler; every goroutine-safety concern below it is owned by
@@ -34,13 +41,16 @@ type Server struct {
 	fe  *core.Frontend
 	mux *http.ServeMux
 
-	mu       sync.Mutex
-	sessions map[string]*session
+	mu        sync.Mutex
+	sessions  map[string]*session
+	ttl       time.Duration
+	lastSweep time.Time
+	now       func() time.Time // injectable clock for the eviction tests
 }
 
 // NewServer builds the handler tree over fe.
 func NewServer(fe *core.Frontend) *Server {
-	s := &Server{fe: fe, sessions: make(map[string]*session)}
+	s := &Server{fe: fe, sessions: make(map[string]*session), ttl: DefaultSessionTTL, now: time.Now}
 	m := http.NewServeMux()
 	m.HandleFunc("POST /api/sessions", s.createSession)
 	m.HandleFunc("DELETE /api/sessions", s.auth(s.deleteSession))
@@ -64,11 +74,36 @@ func (s *Server) Frontend() *core.Frontend { return s.fe }
 // ServeHTTP dispatches to the handler tree.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Sessions returns the live session count.
+// SetSessionTTL changes the idle timeout; d <= 0 disables eviction
+// (sessions then live until explicitly deleted). Safe to call any time.
+func (s *Server) SetSessionTTL(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ttl = d
+}
+
+// Sessions returns the live session count, after reaping idle sessions.
 func (s *Server) Sessions() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepLocked(s.now())
 	return len(s.sessions)
+}
+
+// sweepLocked evicts sessions idle past the TTL. It runs lazily under
+// the existing mutex — no background goroutine to leak or to race with
+// shutdown — and self-throttles to at most one full scan per quarter
+// TTL, so the common path stays one time comparison.
+func (s *Server) sweepLocked(now time.Time) {
+	if s.ttl <= 0 || now.Sub(s.lastSweep) < s.ttl/4 {
+		return
+	}
+	s.lastSweep = now
+	for tok, sess := range s.sessions {
+		if now.Sub(sess.lastSeen) > s.ttl {
+			delete(s.sessions, tok)
+		}
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -88,8 +123,18 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 func (s *Server) auth(fn func(http.ResponseWriter, *http.Request, *session)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		tok := r.Header.Get(AuthHeader)
+		now := s.now()
 		s.mu.Lock()
+		s.sweepLocked(now)
 		sess := s.sessions[tok]
+		if sess != nil && s.ttl > 0 && now.Sub(sess.lastSeen) > s.ttl {
+			// Expired but not yet swept: treat exactly like a swept one.
+			delete(s.sessions, tok)
+			sess = nil
+		}
+		if sess != nil {
+			sess.lastSeen = now
+		}
 		s.mu.Unlock()
 		if sess == nil {
 			writeError(w, http.StatusUnauthorized, "missing or invalid %s token", AuthHeader)
@@ -123,8 +168,10 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "token generation: %v", err)
 		return
 	}
-	sess := &session{token: hex.EncodeToString(raw[:]), user: name, org: org, created: time.Now()}
+	now := s.now()
+	sess := &session{token: hex.EncodeToString(raw[:]), user: name, org: org, created: now, lastSeen: now}
 	s.mu.Lock()
+	s.sweepLocked(now)
 	s.sessions[sess.token] = sess
 	s.mu.Unlock()
 	w.Header().Set(AuthHeader, sess.token)

@@ -318,3 +318,61 @@ func TestLoadgenAgainstServer(t *testing.T) {
 		t.Fatalf("good/h = %v", res.GoodPerHour())
 	}
 }
+
+// TestSessionIdleEviction pins the session-leak fix: abandoned sessions
+// are reaped after the idle TTL while sessions that keep making
+// requests survive indefinitely. The clock is injected so the test
+// controls idleness exactly.
+func TestSessionIdleEviction(t *testing.T) {
+	ts, srv := startServer(t, 1)
+	clock := time.Unix(1700000000, 0)
+	srv.now = func() time.Time { return clock }
+	srv.SetSessionTTL(time.Minute)
+
+	active := login(t, ts.URL, "alice@org1")
+	abandoned1 := login(t, ts.URL, "bob@org1")
+	abandoned2 := login(t, ts.URL, "carol@org2")
+	if got := srv.Sessions(); got != 3 {
+		t.Fatalf("sessions after login: %d", got)
+	}
+
+	// The active session touches the API every 30s for five minutes; the
+	// other two never come back.
+	for i := 0; i < 10; i++ {
+		clock = clock.Add(30 * time.Second)
+		if code := do(t, "GET", ts.URL+"/api/session", active, nil, nil); code != http.StatusOK {
+			t.Fatalf("active session rejected at +%ds: %d", 30*(i+1), code)
+		}
+	}
+
+	if got := srv.Sessions(); got != 1 {
+		t.Fatalf("sessions after idle period: %d, want 1 (abandoned reaped)", got)
+	}
+	if code := do(t, "GET", ts.URL+"/api/session", abandoned1, nil, nil); code != http.StatusUnauthorized {
+		t.Fatalf("abandoned session 1 still accepted: %d", code)
+	}
+	if code := do(t, "GET", ts.URL+"/api/session", abandoned2, nil, nil); code != http.StatusUnauthorized {
+		t.Fatalf("abandoned session 2 still accepted: %d", code)
+	}
+	// The survivor is still valid even after everything else was reaped.
+	if code := do(t, "GET", ts.URL+"/api/session", active, nil, nil); code != http.StatusOK {
+		t.Fatalf("active session lost: %d", code)
+	}
+
+	// An expired-but-unswept token must be rejected on first touch even
+	// when the throttled sweep has not run yet: make one session, let it
+	// expire by a hair past the TTL, and present it immediately.
+	fresh := login(t, ts.URL, "dave@org1")
+	clock = clock.Add(time.Minute + time.Second)
+	if code := do(t, "GET", ts.URL+"/api/session", fresh, nil, nil); code != http.StatusUnauthorized {
+		t.Fatalf("expired token accepted: %d", code)
+	}
+
+	// TTL 0 disables eviction entirely.
+	srv.SetSessionTTL(0)
+	forever := login(t, ts.URL, "erin@org1")
+	clock = clock.Add(240 * time.Hour)
+	if code := do(t, "GET", ts.URL+"/api/session", forever, nil, nil); code != http.StatusOK {
+		t.Fatalf("session evicted with TTL disabled: %d", code)
+	}
+}

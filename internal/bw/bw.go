@@ -21,6 +21,7 @@ type Engine struct {
 	active     map[*transfer]struct{}
 	lastUpdate sim.Time
 	timer      sim.Timer
+	complete   func() // cached e.onComplete method value (reschedule hot path)
 
 	// freeT recycles transfer records (and their completion signals) so
 	// steady-state copies do not allocate.
@@ -103,7 +104,10 @@ func (e *Engine) reschedule() {
 	if delay < minDelayS {
 		delay = minDelayS
 	}
-	e.timer = e.env.Schedule(delay, e.onComplete)
+	if e.complete == nil {
+		e.complete = e.onComplete
+	}
+	e.timer = e.env.Schedule(delay, e.complete)
 }
 
 // minDelayS is the smallest completion delay reschedule will arm.

@@ -171,7 +171,47 @@ type Director struct {
 	// sticky-org placements whose pinned datastore was full.
 	placementFallbacks int64
 	stickyOverflows    int64
+
+	// frameFree recycles per-deploy scatter/gather frames (outcome
+	// slots plus the completion signal) so steady-state vApp deploys do
+	// not allocate them. Frames are only touched from the kernel's
+	// cooperative processes, so a plain slice suffices.
+	frameFree []*deployFrame
 }
+
+// deployFrame is one DeployVApp call's scatter/gather state: a slot per
+// member VM for the worker outcomes, the signal the last worker fires,
+// and the outstanding-worker count.
+type deployFrame struct {
+	slots     []vmOutcome
+	done      *sim.Signal
+	remaining int
+}
+
+func (d *Director) getFrame(n int) *deployFrame {
+	var f *deployFrame
+	if k := len(d.frameFree); k > 0 {
+		f = d.frameFree[k-1]
+		d.frameFree[k-1] = nil
+		d.frameFree = d.frameFree[:k-1]
+	} else {
+		f = &deployFrame{done: sim.NewSignal(d.env)}
+	}
+	if cap(f.slots) < n {
+		f.slots = make([]vmOutcome, n)
+	} else {
+		f.slots = f.slots[:n]
+		for i := range f.slots {
+			f.slots[i] = vmOutcome{}
+		}
+	}
+	f.remaining = n
+	return f
+}
+
+// putFrame returns a frame once every worker has exited (the caller has
+// passed done.Wait, which the last worker's fire precedes).
+func (d *Director) putFrame(f *deployFrame) { d.frameFree = append(d.frameFree, f) }
 
 // New builds a director over an existing manager. The stream seeds cell
 // stage-time draws; it must be distinct from the manager's stream.
@@ -483,41 +523,40 @@ func (d *Director) DeployVApp(p *sim.Proc, org string, tpl *inventory.Template, 
 	va := inv.AddVApp(dc, fmt.Sprintf("vapp-%d", d.nextVApp), org)
 	res := &DeployResult{VApp: va, Tasks: make([]*mgmt.Task, 0, nVMs*2)}
 
-	slots := make([]vmOutcome, nVMs)
-	done := sim.NewSignal(d.env)
-	remaining := nVMs
+	f := d.getFrame(nVMs)
 	for i := 0; i < nVMs; i++ {
 		i := i
 		d.nextVM++
 		name := fmt.Sprintf("%s-vm%d", va.Name, i)
 		d.env.Go("deploy:"+name, func(hp *sim.Proc) {
 			defer func() {
-				remaining--
-				if remaining == 0 {
-					done.Fire()
+				f.remaining--
+				if f.remaining == 0 {
+					f.done.Fire()
 				}
 			}()
-			slots[i] = d.deployOne(hp, org, name, tpl, va, powerOn, submit)
+			f.slots[i] = d.deployOne(hp, org, name, tpl, va, powerOn, submit)
 		})
 	}
-	if remaining > 0 {
-		done.Wait(p)
+	if f.remaining > 0 {
+		f.done.Wait(p)
 	}
 	deployed := 0
-	for i := range slots {
-		if slots[i].deploy != nil {
-			res.Tasks = append(res.Tasks, slots[i].deploy)
-			if slots[i].deploy.Err == nil {
+	for i := range f.slots {
+		if f.slots[i].deploy != nil {
+			res.Tasks = append(res.Tasks, f.slots[i].deploy)
+			if f.slots[i].deploy.Err == nil {
 				deployed++
 			}
 		}
-		if slots[i].pwr != nil {
-			res.Tasks = append(res.Tasks, slots[i].pwr)
+		if f.slots[i].pwr != nil {
+			res.Tasks = append(res.Tasks, f.slots[i].pwr)
 		}
-		if slots[i].err != nil && res.Err == nil {
-			res.Err = slots[i].err
+		if f.slots[i].err != nil && res.Err == nil {
+			res.Err = f.slots[i].err
 		}
 	}
+	d.putFrame(f)
 	d.orgVMs[org] -= nVMs - deployed // release quota held by failures
 	d.liveVApps[va.ID] = true
 	if d.cfg.LeaseS > 0 {

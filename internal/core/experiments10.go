@@ -1,0 +1,143 @@
+package core
+
+// Extension experiment E23: wall-clock cost/benefit of the lane
+// kernel. Each cell runs the same deterministic sharded closed loop at
+// one (shards × lanes) point and measures how long it took in *wall*
+// time, plus a digest of the simulation outcome. The digest column is
+// the experiment's safety net: every lane count at a given shard count
+// must produce the identical digest, because lanes are an execution
+// strategy, not a model change — the determinism tests pin this
+// byte-for-byte and E23 re-checks it on the numbers it actually
+// measured.
+//
+// Like E22, E23 exercises the wall clock, so its artifact is *not*
+// byte-reproducible and it stays out of the default suite. Cells run
+// serially: each one is free to use every core for barrier merges, and
+// overlapping cells would measure scheduler noise. On a single-CPU
+// host the lanes>1 rows mostly price the barrier machinery (expect
+// speedup <= 1); the experiment is still worth running there because
+// the digest check and the overhead price are the point — the speedup
+// column only becomes informative with real parallelism.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cloudmcp/internal/report"
+)
+
+// E23Params configures the lane-speedup grid.
+type E23Params struct {
+	Seed     int64
+	Shards   []int   // shard grid, default {1, 4}
+	Lanes    []int   // lane grid, default {1, 2, 4}; 1 is the baseline row
+	Clients  int     // closed-loop workers, default 64
+	HorizonS float64 // virtual horizon per cell, default 30 min
+	WarmupS  float64 // default HorizonS/10
+}
+
+func (p *E23Params) setDefaults() {
+	if len(p.Shards) == 0 {
+		p.Shards = []int{1, 4}
+	}
+	if len(p.Lanes) == 0 {
+		p.Lanes = []int{1, 2, 4}
+	}
+	if p.Clients == 0 {
+		p.Clients = 64
+	}
+	if p.HorizonS == 0 {
+		p.HorizonS = 30 * 60
+	}
+	if p.WarmupS == 0 {
+		p.WarmupS = p.HorizonS / 10
+	}
+}
+
+// E23Cell is one (shards, lanes) measurement.
+type E23Cell struct {
+	Shards  int
+	Lanes   int
+	WallMS  float64 // wall-clock run time of the cell
+	Speedup float64 // lanes=1 wall time at this shard count / this cell's
+	Digest  string  // deterministic outcome summary; equal across lanes
+	Match   bool    // digest equals the lanes=1 digest at this shard count
+}
+
+// E23Result holds the grid in run order.
+type E23Result struct {
+	Params E23Params
+	Cells  []E23Cell
+}
+
+// RunE23 measures the lane kernel's wall-clock behavior across the
+// (shards × lanes) grid. The first lane count at each shard count is
+// forced to 1 so every row has its baseline.
+func RunE23(p E23Params) (*E23Result, error) {
+	p.setDefaults()
+	res := &E23Result{Params: p}
+	for _, shards := range p.Shards {
+		var baseMS float64
+		var baseDigest string
+		for i, lanes := range p.Lanes {
+			cell, err := runE23Cell(p, shards, lanes)
+			if err != nil {
+				return nil, fmt.Errorf("E23 shards=%d lanes=%d: %w", shards, lanes, err)
+			}
+			if i == 0 {
+				baseMS, baseDigest = cell.WallMS, cell.Digest
+			}
+			if cell.WallMS > 0 {
+				cell.Speedup = baseMS / cell.WallMS
+			}
+			cell.Match = cell.Digest == baseDigest
+			res.Cells = append(res.Cells, cell)
+			if !cell.Match {
+				return nil, fmt.Errorf("E23 shards=%d lanes=%d: outcome digest %q differs from lanes=%d digest %q — lane kernel determinism violated",
+					shards, lanes, cell.Digest, p.Lanes[0], baseDigest)
+			}
+		}
+	}
+	return res, nil
+}
+
+// runE23Cell times one closed loop under the given kernel partition.
+func runE23Cell(p E23Params, shards, lanes int) (E23Cell, error) {
+	cfg := DefaultConfig(p.Seed)
+	cfg.Director.FastProvisioning = true
+	cfg.Director.RebalanceThreshold = 0
+	cfg.Topology.DatastoreMBps = 4000
+	cfg.Director.MaxChainLen = 1 << 20
+	cfg.Plane.Shards = shards
+	if lanes > 1 {
+		cfg.Lanes = lanes
+	}
+	wall0 := time.Now()
+	r, err := RunClosedLoop(cfg, p.Clients, p.HorizonS, p.WarmupS)
+	if err != nil {
+		return E23Cell{}, err
+	}
+	wallMS := float64(time.Since(wall0)) / float64(time.Millisecond)
+	// The digest folds every deterministic outcome the loop reports;
+	// wall time stays out of it by construction.
+	digest := fmt.Sprintf("deploys=%d errors=%d good/h=%.6f mean=%.6f p95=%.6f p99=%.6f dbutil=%.6f",
+		r.Deploys, r.Errors, r.DeploysPerHour, r.MeanLatencyS, r.P95LatencyS, r.P99LatencyS, r.DBUtil)
+	return E23Cell{Shards: shards, Lanes: lanes, WallMS: wallMS, Digest: digest}, nil
+}
+
+// Render writes the E23 artifact.
+func (r *E23Result) Render(w io.Writer) error {
+	t := report.NewTable(
+		fmt.Sprintf("E23: lane kernel wall-clock grid (%d clients, %.0fs horizon; wall-clock measurement, not byte-reproducible)",
+			r.Params.Clients, r.Params.HorizonS),
+		"shards", "lanes", "wall ms", "speedup", "outcome")
+	for _, c := range r.Cells {
+		outcome := "identical"
+		if !c.Match {
+			outcome = "DIVERGED"
+		}
+		t.AddRow(c.Shards, c.Lanes, c.WallMS, c.Speedup, outcome)
+	}
+	return t.Render(w)
+}

@@ -10,7 +10,7 @@ package inventory
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // ID uniquely identifies an entity within one Inventory. IDs are assigned
@@ -678,7 +678,7 @@ func (inv *Inventory) Path(id ID) []ID {
 // duplicates, returning the possibly shortened slice. Lock acquisition in
 // this order is deadlock-free.
 func SortIDs(ids []ID) []ID {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids) // closure-free: this is the lock hot path
 	out := ids[:0]
 	var prev ID = -1
 	for _, id := range ids {

@@ -212,6 +212,15 @@ type Manager struct {
 	locks     map[inventory.ID]*sim.Resource
 	global    *sim.Resource
 
+	// Pooled lock-path state. Acquisition frames and retired lock
+	// resources are recycled, so the steady-state lock path allocates
+	// nothing and the lock map no longer grows by one entry per VM
+	// ever created (see recycleLock). The kernel runs event bodies one
+	// at a time, so plain slices are safe here.
+	lockFrames []*lockSet
+	lockPool   []*sim.Resource
+	globalRel  func()
+
 	nextTaskID int64
 	sinks      []func(*Task)
 
@@ -223,6 +232,12 @@ type Manager struct {
 	// disabled): inventory-lock wait and end-to-end task latency.
 	lockWait *metrics.Histogram
 	taskLat  *metrics.Histogram
+
+	// lane pinning (see sim.LaneConfig): the event lane this manager's
+	// private serialization points are tagged with. Locks created after
+	// PinLane inherit it.
+	lane       int32
+	lanePinned bool
 }
 
 type kindStats struct {
@@ -303,6 +318,7 @@ func New(env *sim.Env, inv *inventory.Inventory, pool *storage.Pool, model *ops.
 		global:    sim.NewResource(env, cfg.Label+"mgmt.globallock", 1),
 		perKind:   make(map[ops.Kind]*kindStats),
 	}
+	m.globalRel = func() { m.global.Release(1) }
 	if cfg.SharedDB != nil {
 		m.db = cfg.SharedDB
 	} else {
@@ -370,6 +386,31 @@ func (m *Manager) registerMetrics(reg *metrics.Registry) {
 	}
 }
 
+// PinLane tags the manager's private serialization points — admission,
+// worker threads, the per-shard database, inventory locks — with event
+// lane l for cross-lane accounting (see sim.LaneConfig). Shared
+// resources (a SharedDB pool, a SharedWAL database, the host-agent
+// registry) are deliberately left on lane 0, the shared-resource lane:
+// acquiring them from a shard lane is exactly the cross-lane
+// interaction the conservative barrier window is keyed to.
+func (m *Manager) PinLane(l int32) {
+	m.lane, m.lanePinned = l, true
+	m.admission.PinLane(l)
+	m.threads.PinLane(l)
+	m.global.PinLane(l)
+	switch {
+	case m.cfg.SharedDB != nil || m.cfg.SharedWAL != nil:
+		// shared instance: plane-owned, stays on lane 0
+	case m.waldb != nil:
+		m.waldb.PinLane(l)
+	default:
+		m.db.PinLane(l)
+	}
+	for _, r := range m.locks {
+		r.PinLane(l)
+	}
+}
+
 // NetworkStats returns migration-network statistics, or (zero, false)
 // when no network model is configured.
 func (m *Manager) NetworkStats() (bw.EngineStats, bool) {
@@ -416,12 +457,12 @@ func (m *Manager) AddTaskSink(fn func(*Task)) { m.sinks = append(m.sinks, fn) }
 // (Capacity mutations themselves are atomic inside operation bodies; the
 // locks model serialization cost, which is what the granularity ablation
 // measures.)
-func (m *Manager) lockIDsFor(targets []inventory.ID) []inventory.ID {
+func (m *Manager) lockIDsFor(targets, buf []inventory.ID) []inventory.ID {
 	switch m.cfg.Granularity {
 	case GranularityCoarse:
 		return nil // signalled by useGlobal
 	case GranularityHost:
-		mapped := make([]inventory.ID, 0, len(targets))
+		mapped := buf[:0]
 		for _, id := range targets {
 			switch e := m.inv.Get(id).(type) {
 			case *inventory.VM:
@@ -434,7 +475,7 @@ func (m *Manager) lockIDsFor(targets []inventory.ID) []inventory.ID {
 		}
 		return inventory.SortIDs(mapped)
 	default:
-		vms := make([]inventory.ID, 0, len(targets))
+		vms := buf[:0]
 		for _, id := range targets {
 			if _, ok := m.inv.Get(id).(*inventory.VM); ok {
 				vms = append(vms, id)
@@ -448,31 +489,85 @@ func (m *Manager) lockFor(id inventory.ID) *sim.Resource {
 	if r, ok := m.locks[id]; ok {
 		return r
 	}
-	r := sim.NewResource(m.env, fmt.Sprintf("lock:%d", id), 1)
+	// Reuse a retired lock when one is free: inventory IDs never repeat,
+	// so a recycled resource always stands for a brand-new entity. (The
+	// resource keeps its original debug name; lock names never reach an
+	// artifact.)
+	var r *sim.Resource
+	if k := len(m.lockPool); k > 0 {
+		r = m.lockPool[k-1]
+		m.lockPool[k-1] = nil
+		m.lockPool = m.lockPool[:k-1]
+	} else {
+		r = sim.NewResource(m.env, fmt.Sprintf("lock:%d", id), 1)
+	}
+	if m.lanePinned {
+		r.PinLane(m.lane)
+	}
 	m.locks[id] = r
 	return r
 }
 
+// recycleLock retires the lock of a destroyed entity. Without this the
+// lock map grows by one entry per VM ever created — a leak on any
+// long-lived manager (the reconciliation plane runs forever). The lock
+// must be idle; a waiter queued behind the destroy keeps it alive and
+// the entry is simply dropped when that waiter's operation fails.
+func (m *Manager) recycleLock(id inventory.ID) {
+	r, ok := m.locks[id]
+	if !ok || r.InUse() > 0 || r.QueueLen() > 0 {
+		return
+	}
+	delete(m.locks, id)
+	m.lockPool = append(m.lockPool, r)
+}
+
+// lockSet is one attempt's pooled lock-acquisition frame: the mapped
+// lock IDs, the resources held, and a reusable release closure. Frames
+// return to the manager's pool when released, so steady-state
+// acquisition allocates nothing.
+type lockSet struct {
+	ids     []inventory.ID
+	held    []*sim.Resource
+	release func()
+}
+
+func (m *Manager) getLockFrame() *lockSet {
+	if k := len(m.lockFrames); k > 0 {
+		ls := m.lockFrames[k-1]
+		m.lockFrames[k-1] = nil
+		m.lockFrames = m.lockFrames[:k-1]
+		return ls
+	}
+	ls := &lockSet{}
+	ls.release = func() {
+		for i := len(ls.held) - 1; i >= 0; i-- {
+			ls.held[i].Release(1)
+		}
+		ls.held = ls.held[:0]
+		ls.ids = ls.ids[:0]
+		m.lockFrames = append(m.lockFrames, ls)
+	}
+	return ls
+}
+
 // acquireLocks takes all locks in canonical order, returning seconds spent
-// waiting and the release function.
+// waiting and the release function. The release function must be called
+// exactly once; it recycles the acquisition frame.
 func (m *Manager) acquireLocks(p *sim.Proc, targets []inventory.ID) (float64, func()) {
 	t0 := p.Now()
 	if m.cfg.Granularity == GranularityCoarse {
 		m.global.Acquire(p, 1)
-		return p.Now() - t0, func() { m.global.Release(1) }
+		return p.Now() - t0, m.globalRel
 	}
-	ids := m.lockIDsFor(targets)
-	held := make([]*sim.Resource, 0, len(ids))
-	for _, id := range ids {
+	ls := m.getLockFrame()
+	ls.ids = m.lockIDsFor(targets, ls.ids)
+	for _, id := range ls.ids {
 		l := m.lockFor(id)
 		l.Acquire(p, 1)
-		held = append(held, l)
+		ls.held = append(ls.held, l)
 	}
-	return p.Now() - t0, func() {
-		for i := len(held) - 1; i >= 0; i-- {
-			held[i].Release(1)
-		}
-	}
+	return p.Now() - t0, ls.release
 }
 
 // ExecSpec describes one operation for Execute.

@@ -18,6 +18,7 @@ type APIRow struct {
 	APIShare float64 // fraction of total latency spent in API queueing
 	MaxLagMS float64 // worst wall-clock slip of the paced driver
 	Errors   int64   // failed operations
+	Cutoff   int64   // operations still unresolved at the wall deadline
 }
 
 // APITable renders load-test cells in the order given. Returns nil for
@@ -27,9 +28,9 @@ func APITable(title string, rows []APIRow) *Table {
 		return nil
 	}
 	t := NewTable(title,
-		"users", "ratio", "shards", "good/h", "p50 s", "p99 s", "api share", "max lag ms", "errors")
+		"users", "ratio", "shards", "good/h", "p50 s", "p99 s", "api share", "max lag ms", "errors", "cutoff")
 	for _, r := range rows {
-		t.AddRow(r.Users, r.Ratio, r.Shards, r.GoodPerH, r.P50S, r.P99S, r.APIShare, r.MaxLagMS, r.Errors)
+		t.AddRow(r.Users, r.Ratio, r.Shards, r.GoodPerH, r.P50S, r.P99S, r.APIShare, r.MaxLagMS, r.Errors, r.Cutoff)
 	}
 	return t
 }

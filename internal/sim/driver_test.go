@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -220,5 +221,96 @@ func TestPacedVirtualNow(t *testing.T) {
 	d.Run(12.5)
 	if d.VirtualNow() != 12.5 {
 		t.Fatalf("VirtualNow = %v, want 12.5", d.VirtualNow())
+	}
+}
+
+// TestPacedSubmitStopRace pins the Submit/Stop contract under
+// contention: a Submit that lands while Stop is draining must invoke
+// exactly one of fn or reject — never both (double-fire) and never
+// neither (silent drop) — and once Submit has returned false the driver
+// must refuse every later submission. Run under -race in CI.
+func TestPacedSubmitStopRace(t *testing.T) {
+	const (
+		rounds   = 10
+		workers  = 8
+		perWkr   = 64
+		commands = workers * perWkr
+	)
+	for round := 0; round < rounds; round++ {
+		env := NewEnv()
+		env.Go("tick", func(p *Proc) {
+			for p.Now() < 1e4 {
+				p.Sleep(0.25)
+			}
+		})
+		d := NewPaced(env, PacedConfig{Ratio: 0, QuantumS: 0.25})
+		counts := make([]atomic.Int32, commands)
+		var accepted [workers * perWkr]atomic.Bool
+		runDone := make(chan struct{})
+		go func() {
+			d.Run(1e4)
+			close(runDone)
+		}()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				refused := false
+				for i := 0; i < perWkr; i++ {
+					idx := w*perWkr + i
+					ok := d.Submit(
+						func(*Env) { counts[idx].Add(1) },
+						func() { counts[idx].Add(1) },
+					)
+					accepted[idx].Store(ok)
+					if !ok {
+						refused = true
+					} else if refused {
+						t.Errorf("round %d: Submit accepted after an earlier refusal", round)
+						return
+					}
+					if w == 0 && i == perWkr/4 {
+						d.Stop()
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		<-runDone
+		for idx := 0; idx < commands; idx++ {
+			got := counts[idx].Load()
+			if accepted[idx].Load() && got != 1 {
+				t.Fatalf("round %d: accepted command %d ran %d callbacks, want exactly 1", round, idx, got)
+			}
+			if !accepted[idx].Load() && got != 0 {
+				t.Fatalf("round %d: refused command %d ran %d callbacks, want 0", round, idx, got)
+			}
+		}
+	}
+}
+
+// TestPacedQuantumAlignsToLaneWindow: with lanes configured, the
+// injection quantum rounds up to a whole number of conservative
+// windows, so every injection point is also a window boundary.
+func TestPacedQuantumAlignsToLaneWindow(t *testing.T) {
+	env := NewEnv()
+	if err := env.ConfigureLanes(LaneConfig{Lanes: 2, WindowS: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	d := NewPaced(env, PacedConfig{QuantumS: 0.12})
+	if got := d.Config().QuantumS; got != 0.15000000000000002 && got != 0.15 {
+		t.Fatalf("quantum %v, want 3 windows (0.15)", got)
+	}
+	// Already-aligned quanta are untouched.
+	d = NewPaced(env, PacedConfig{QuantumS: 0.25})
+	if got := d.Config().QuantumS; got != 0.25 {
+		t.Fatalf("aligned quantum moved to %v", got)
+	}
+	// Lanes off: quanta pass through verbatim.
+	d = NewPaced(NewEnv(), PacedConfig{QuantumS: 0.12})
+	if got := d.Config().QuantumS; got != 0.12 {
+		t.Fatalf("laneless quantum moved to %v", got)
 	}
 }

@@ -1,0 +1,352 @@
+package sim
+
+// Per-lane event lanes: the kernel-side half of the parallel event
+// kernel. The event heap is partitioned into one lane per management
+// -plane shard plus lane 0 for shared resources (the shared management
+// DB, the cross-shard coordinator, netsim, reconcile controllers), and
+// the run loop advances in conservative time windows keyed to the
+// minimum cross-lane interaction latency: no lane advances past a
+// window boundary until every lane has reached it.
+//
+// The invariant that makes lanes safe to enable anywhere is that the
+// *execution* order never changes: events fire in global (time, seq)
+// order no matter how many lanes or barrier workers are configured, so
+// lanes=1 is the identity and every artifact is byte-identical at any
+// lane count. What the lanes buy is structural:
+//
+//   - each lane owns a smaller heap, so push/pop sift costs shrink
+//     from O(log n) to O(log n/L) on the lane-local hot path;
+//   - future-dated cross-lane events are parked in the target lane's
+//     pooled mailbox (an O(1) append instead of a heap sift) and bulk
+//     -merged at the next window barrier;
+//   - barrier merges run on worker goroutines, one lane per worker —
+//     the only concurrency in the kernel, and it touches strictly
+//     lane-disjoint state, so worker count cannot perturb order.
+//
+// Model state (the inventory, the metrics registry, task records) is
+// shared across shards, so event *bodies* still execute one at a time
+// on the kernel goroutine; the conservative windows are what would let
+// bodies run concurrently once state is lane-partitioned, and the
+// WindowViolations counter measures how often the model breaks the
+// window assumption today (a cross-lane event landing inside the
+// current window falls back to a direct heap insert — correct, just
+// not deferrable).
+//
+// Same-instant wakeups — the most common event class by far — ride the
+// global same-time FIFO queue exactly as before and are unaffected by
+// lane placement.
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// LaneConfig shapes the partitioned kernel. Zero-valued fields take
+// defaults; a Lanes value <= 1 leaves the kernel on the single-heap
+// path (the identity).
+type LaneConfig struct {
+	// Lanes is the total lane count including lane 0, which is reserved
+	// for shared resources. A sharded plane maps shard s to lane
+	// 1 + s%(Lanes-1).
+	Lanes int
+	// WindowS is the conservative barrier window in virtual seconds:
+	// the minimum latency of a cross-lane interaction (the two-phase
+	// coordinator round-trip, a shared-DB acquire). Cross-lane events
+	// scheduled at or beyond the current window's end are parked in
+	// mailboxes and merged at the barrier. Default 0.05.
+	WindowS Time
+	// Workers bounds the barrier-merge worker pool. <= 0 uses one
+	// worker per lane. Worker count never affects output.
+	Workers int
+}
+
+// Validate checks the lane configuration.
+func (c LaneConfig) Validate() error {
+	if c.Lanes < 0 {
+		return fmt.Errorf("sim: negative lane count %d", c.Lanes)
+	}
+	if c.WindowS < 0 {
+		return fmt.Errorf("sim: negative lane window %g", c.WindowS)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("sim: negative lane workers %d", c.Workers)
+	}
+	return nil
+}
+
+// LaneStats is one lane's structural accounting.
+type LaneStats struct {
+	Lane       int
+	Executed   int64 // events fired that were tagged to this lane
+	Merged     int64 // mailbox events bulk-merged at barriers
+	Violations int64 // cross-lane events inside the window (direct insert)
+	CrossAcq   int64 // acquires of this lane's pinned resources from other lanes
+}
+
+// lane is one partition of the event heap. Lane 0's heap is the Env's
+// original heap (so configuring lanes moves no events); lanes 1..L-1
+// own private heaps. The mailbox holds future-dated events scheduled
+// from other lanes, awaiting the next barrier merge.
+type lane struct {
+	heap     eventHeap
+	mbox     []*event
+	mboxDead int      // cancelled entries still occupying mbox slots
+	dead     []*event // cancelled entries found during merge, released post-barrier
+	stats    LaneStats
+}
+
+// ConfigureLanes partitions the event heap into cfg.Lanes lanes. Must
+// be called before Run; events already scheduled stay on lane 0. A
+// Lanes value <= 1 is a no-op: the kernel keeps the single-heap path
+// and behaves exactly as it always has.
+func (e *Env) ConfigureLanes(cfg LaneConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if e.running {
+		return fmt.Errorf("sim: ConfigureLanes while running")
+	}
+	if cfg.Lanes <= 1 {
+		return nil
+	}
+	if cfg.WindowS == 0 {
+		cfg.WindowS = 0.05
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = cfg.Lanes
+	}
+	e.laneCfg = cfg
+	e.lanes = make([]lane, cfg.Lanes)
+	e.windowEnd = math.Inf(1)
+	return nil
+}
+
+// LaneCount returns the configured lane count (1 when lanes are off).
+func (e *Env) LaneCount() int {
+	if e.lanes == nil {
+		return 1
+	}
+	return len(e.lanes)
+}
+
+// LaneStats returns per-lane structural counters, nil when lanes are
+// off. The counters are diagnostics: they never influence execution.
+func (e *Env) LaneStats() []LaneStats {
+	if e.lanes == nil {
+		return nil
+	}
+	out := make([]LaneStats, len(e.lanes))
+	for i := range e.lanes {
+		out[i] = e.lanes[i].stats
+		out[i].Lane = i
+	}
+	return out
+}
+
+// laneHeap returns lane i's event heap: the Env's original heap for
+// lane 0, the lane's private heap otherwise.
+func (e *Env) laneHeap(i int32) *eventHeap {
+	if i == 0 {
+		return &e.heap
+	}
+	return &e.lanes[i].heap
+}
+
+// peekLanes extends peek across the lane heaps: the global (time, seq)
+// minimum of every lane's heap root and the same-time queue's front.
+// The scan is O(lanes), paid once per fired event.
+func (e *Env) peekLanes(front *event) *event {
+	best := front
+	if len(e.heap) > 0 {
+		if top := e.heap[0]; best == nil || evLess(top, best) {
+			best = top
+		}
+	}
+	for i := 1; i < len(e.lanes); i++ {
+		h := e.lanes[i].heap
+		if len(h) == 0 {
+			continue
+		}
+		if top := h[0]; best == nil || evLess(top, best) {
+			best = top
+		}
+	}
+	return best
+}
+
+func evLess(a, b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// eventLane picks the lane a new event belongs to: the resumed
+// process's lane for wakeups, the currently executing event's lane for
+// plain callbacks.
+func (e *Env) eventLane(p *Proc) int32 {
+	if p != nil {
+		return p.lane
+	}
+	return e.curLane
+}
+
+// boundaryAfter returns the first multiple of w strictly after t,
+// computed by multiplication so float error cannot accumulate across
+// windows (the same trick the paced driver uses for quantum
+// boundaries).
+func boundaryAfter(t, w Time) Time {
+	k := math.Floor(t/w) + 1
+	b := k * w
+	for b <= t {
+		k++
+		b = k * w
+	}
+	return b
+}
+
+// runLanes is Run's windowed loop: merge mailboxes at the barrier,
+// advance every lane together to the next window boundary, repeat.
+// Execution order inside a window is the global (time, seq) merge of
+// all lane heaps and the same-time queue — identical to the
+// single-heap loop — so artifacts do not depend on the lane count.
+func (e *Env) runLanes(until Time) Time {
+	w := e.laneCfg.WindowS
+	defer func() {
+		e.windowEnd = math.Inf(1)
+		e.curLane = 0
+	}()
+	var nev int64
+	for !e.stopped {
+		e.laneBarrier()
+		ev := e.peek()
+		if ev == nil {
+			break
+		}
+		if ev.at > until {
+			e.now = until
+			return e.now
+		}
+		// The window containing the next event; empty windows are
+		// skipped in one step. The final stretch to the horizon runs
+		// inclusive (events exactly at until fire, as in the serial
+		// loop) with deferral off, so a cross-lane event scheduled for
+		// the horizon itself cannot be parked past it.
+		bound := boundaryAfter(ev.at, w)
+		inclusive := bound >= until
+		if inclusive {
+			bound = until
+			e.windowEnd = math.Inf(1)
+		} else {
+			e.windowEnd = bound
+		}
+		e.runWindow(bound, inclusive, &nev)
+	}
+	if e.now < until && until != Forever {
+		e.now = until
+	}
+	return e.now
+}
+
+// runWindow fires events in (time, seq) order up to bound — exclusive
+// for interior windows, inclusive for the final stretch to the
+// horizon.
+func (e *Env) runWindow(bound Time, inclusive bool, nev *int64) {
+	for !e.stopped {
+		ev := e.peek()
+		if ev == nil {
+			return
+		}
+		if ev.at > bound || (!inclusive && ev.at == bound) {
+			return
+		}
+		e.pop(ev)
+		e.now = ev.at
+		e.curLane = ev.lane
+		e.lanes[ev.lane].stats.Executed++
+		fn, p := ev.fn, ev.p
+		e.release(ev)
+		if debugEvents {
+			*nev++
+			if *nev%debugEventEvery == 0 {
+				fmt.Fprintf(os.Stderr, "sim DEBUG: %d events, now=%v pending=%d fn=%p\n", *nev, e.now, e.Pending(), fn)
+			}
+		}
+		if p != nil {
+			e.wake(p)
+		} else {
+			fn()
+		}
+	}
+}
+
+// laneBarrier bulk-merges every lane's mailbox into its heap. With
+// more than one populated mailbox the merges run on worker goroutines
+// — each worker owns whole lanes, so the only shared state is the
+// work counter — and the kernel goroutine joins them before any event
+// fires. Cancelled mailbox entries are collected per lane and released
+// to the (single-threaded) free list after the join.
+func (e *Env) laneBarrier() {
+	work := 0
+	for i := range e.lanes {
+		if len(e.lanes[i].mbox) > 0 {
+			work++
+		}
+	}
+	if work == 0 {
+		return
+	}
+	if nw := min(e.laneCfg.Workers, work); nw > 1 {
+		var next atomic.Int32
+		var wg sync.WaitGroup
+		for g := 0; g < nw; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(e.lanes) {
+						return
+					}
+					e.mergeLane(int32(i))
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range e.lanes {
+			e.mergeLane(int32(i))
+		}
+	}
+	for i := range e.lanes {
+		l := &e.lanes[i]
+		for j, ev := range l.dead {
+			e.release(ev)
+			l.dead[j] = nil
+		}
+		l.dead = l.dead[:0]
+	}
+}
+
+// mergeLane drains lane i's mailbox into its heap. Safe to run
+// concurrently with other lanes' merges: it touches only lane i's
+// state (and, for lane 0, the Env heap no other worker owns).
+func (e *Env) mergeLane(i int32) {
+	l := &e.lanes[i]
+	if len(l.mbox) == 0 {
+		return
+	}
+	h := e.laneHeap(i)
+	for j, ev := range l.mbox {
+		l.mbox[j] = nil
+		if ev.idx == idxMailboxStopped {
+			l.dead = append(l.dead, ev)
+			continue
+		}
+		heap.Push(h, ev)
+		l.stats.Merged++
+	}
+	l.mbox = l.mbox[:0]
+	l.mboxDead = 0
+}

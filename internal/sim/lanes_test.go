@@ -1,0 +1,232 @@
+package sim
+
+// Kernel-level tests for the per-lane event lanes: execution order must
+// be identical to the single-heap kernel at every lane and worker
+// count, barriers must not starve when a lane is event-free, and
+// timers must cancel cleanly out of cross-lane mailboxes.
+
+import (
+	"fmt"
+	"testing"
+
+	"cloudmcp/internal/rng"
+)
+
+// laneWorkload drives a deterministic mixed workload — pinned procs,
+// cross-lane future timers, zero-delay wake chains, resource contention
+// across lanes — and records the exact firing order. lanes <= 1 runs
+// the single-heap kernel.
+func laneWorkload(t *testing.T, lanes, workers int) []string {
+	t.Helper()
+	env := NewEnv()
+	if lanes > 1 {
+		if err := env.ConfigureLanes(LaneConfig{Lanes: lanes, WindowS: 0.05, Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shared := NewResource(env, "shared", 2)
+	var order []string
+	stream := rng.Derive(7, "lanes.workload")
+	const procs = 12
+	for i := 0; i < procs; i++ {
+		i := i
+		s := rng.Derive(7, fmt.Sprintf("lanes.p%d", i))
+		env.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			if lanes > 1 {
+				p.SetLane(int32(1 + i%(lanes-1)))
+			}
+			for step := 0; step < 40; step++ {
+				p.Sleep(s.Float64() * 0.3) // crosses many windows
+				order = append(order, fmt.Sprintf("p%d.s%d@%.9f", i, step, p.Now()))
+				if step%5 == 0 {
+					// Shared-resource acquire: a cross-lane interaction.
+					shared.Acquire(p, 1)
+					p.Sleep(0.01)
+					shared.Release(1)
+				}
+				if step%7 == 0 {
+					// Future-dated cross-lane callback (rides a mailbox
+					// when it lands beyond the window).
+					at := 0.06 + s.Float64()*0.2
+					env.Schedule(at, func() {
+						order = append(order, fmt.Sprintf("cb%d.%d@%.9f", i, step, env.Now()))
+					})
+				}
+			}
+		})
+	}
+	// A timer churn proc on lane 0 cancels half its timers, exercising
+	// mailbox cancellation from the other side.
+	env.Go("churn", func(p *Proc) {
+		for k := 0; k < 60; k++ {
+			tm := env.Schedule(0.11, func() { order = append(order, fmt.Sprintf("tick@%.9f", env.Now())) })
+			p.Sleep(0.03)
+			if stream.Float64() < 0.5 {
+				tm.Stop()
+			}
+			p.Sleep(0.05)
+		}
+	})
+	end := env.Run(12)
+	if env.LiveProcs() != 0 {
+		t.Fatalf("leaked %d procs", env.LiveProcs())
+	}
+	order = append(order, fmt.Sprintf("end@%.9f", end))
+	return order
+}
+
+// TestLaneOrderIdenticalAcrossCounts pins the identity invariant at the
+// kernel level: the exact event firing order is the same for the
+// single-heap kernel and every lane × worker combination.
+func TestLaneOrderIdenticalAcrossCounts(t *testing.T) {
+	base := laneWorkload(t, 1, 1)
+	if len(base) < 500 {
+		t.Fatalf("workload too small to be meaningful: %d records", len(base))
+	}
+	for _, lanes := range []int{2, 4, 7} {
+		for _, workers := range []int{1, 8} {
+			got := laneWorkload(t, lanes, workers)
+			if len(got) != len(base) {
+				t.Fatalf("lanes=%d workers=%d: %d records, want %d", lanes, workers, len(got), len(base))
+			}
+			for i := range base {
+				if got[i] != base[i] {
+					t.Fatalf("lanes=%d workers=%d diverges at %d: %q vs %q", lanes, workers, i, got[i], base[i])
+				}
+			}
+		}
+	}
+}
+
+// TestLaneBarrierStarvation drives one busy lane while another lane has
+// no events for many hundreds of windows: the barrier loop must skip
+// empty windows in one step (not spin per boundary) and a cross-lane
+// event into the idle lane must still fire at its exact due time.
+func TestLaneBarrierStarvation(t *testing.T) {
+	env := NewEnv()
+	if err := env.ConfigureLanes(LaneConfig{Lanes: 3, WindowS: 0.05, Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var busy int
+	env.Go("busy", func(p *Proc) {
+		p.SetLane(1)
+		for p.Now() < 100 {
+			p.Sleep(0.01)
+			busy++
+		}
+	})
+	// Lane 2 stays event-free for ~2000 windows, then receives one
+	// cross-lane wakeup near the end.
+	var idleAt Time = -1
+	env.Go("idle", func(p *Proc) {
+		p.SetLane(2)
+		p.Sleep(99.5) // scheduled from lane 2 at t=0 — lane-local
+		idleAt = p.Now()
+	})
+	end := env.Run(100)
+	if end != 100 {
+		t.Fatalf("end = %v", end)
+	}
+	if busy < 9000 {
+		t.Fatalf("busy lane starved: %d iterations", busy)
+	}
+	if idleAt != 99.5 {
+		t.Fatalf("idle lane wake at %v, want 99.5", idleAt)
+	}
+	st := env.LaneStats()
+	if len(st) != 3 {
+		t.Fatalf("lane stats: %+v", st)
+	}
+	if st[1].Executed == 0 || st[2].Executed == 0 {
+		t.Fatalf("lanes idle: %+v", st)
+	}
+}
+
+// TestLaneMailboxTimerStop cancels a timer while its event is parked in
+// a cross-lane mailbox and checks it never fires, Pending stays
+// balanced, and the slot is reclaimed at the next barrier.
+func TestLaneMailboxTimerStop(t *testing.T) {
+	env := NewEnv()
+	if err := env.ConfigureLanes(LaneConfig{Lanes: 3, WindowS: 0.05, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	var tm Timer
+	env.Go("a", func(p *Proc) {
+		p.SetLane(1)
+		p.Sleep(0.001) // enter a window so windowEnd is live
+		// Cross-lane: scheduled from lane 1 for a lane-2 proc far in the
+		// future — must ride lane 2's mailbox.
+		env.Go("b", func(q *Proc) {
+			q.SetLane(2)
+			q.Sleep(0.001)
+		})
+		tm = env.Schedule(10, func() { fired++ })
+		p.Sleep(0.002)
+		if !tm.Stop() {
+			t.Error("Stop returned false for a parked event")
+		}
+		if tm.Stop() {
+			t.Error("second Stop returned true")
+		}
+		if _, ok := tm.When(); ok {
+			t.Error("When reports a cancelled event")
+		}
+	})
+	env.Run(20)
+	if fired != 0 {
+		t.Fatalf("cancelled mailbox event fired %d times", fired)
+	}
+	if got := env.Pending(); got != 0 {
+		t.Fatalf("pending = %d after drain", got)
+	}
+}
+
+// TestLaneHorizonEvent pins the final-window edge case: an event landing
+// exactly at the Run horizon — scheduled cross-lane during the last
+// stretch — must fire, exactly as the single-heap kernel fires events
+// at == until.
+func TestLaneHorizonEvent(t *testing.T) {
+	env := NewEnv()
+	if err := env.ConfigureLanes(LaneConfig{Lanes: 2, WindowS: 0.05, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	hit := false
+	env.Go("a", func(p *Proc) {
+		p.SetLane(1)
+		p.Sleep(0.9)
+		env.Go("b", func(q *Proc) {
+			q.Sleep(0.1) // lands exactly at the horizon
+			hit = true
+		})
+	})
+	if end := env.Run(1.0); end != 1.0 {
+		t.Fatalf("end = %v", end)
+	}
+	if !hit {
+		t.Fatal("event at the horizon did not fire")
+	}
+}
+
+// TestConfigureLanesValidation covers the error paths.
+func TestConfigureLanesValidation(t *testing.T) {
+	env := NewEnv()
+	if err := env.ConfigureLanes(LaneConfig{Lanes: -1}); err == nil {
+		t.Fatal("negative lanes accepted")
+	}
+	if err := env.ConfigureLanes(LaneConfig{Lanes: 2, WindowS: -1}); err == nil {
+		t.Fatal("negative window accepted")
+	}
+	if err := env.ConfigureLanes(LaneConfig{Lanes: 0}); err != nil {
+		t.Fatalf("lanes=0 should be a no-op: %v", err)
+	}
+	if env.LaneCount() != 1 {
+		t.Fatalf("lane count %d after no-op", env.LaneCount())
+	}
+	if err := env.ConfigureLanes(LaneConfig{Lanes: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if env.LaneCount() != 4 {
+		t.Fatalf("lane count %d", env.LaneCount())
+	}
+}
